@@ -1,0 +1,100 @@
+"""Ablations for the paper's future-work extensions (Section VIII-A).
+
+* **Approximate OIS-based FPS**: random in-leaf picks instead of the exact
+  SFC-extreme point -- trades a small loss of coverage quality for fewer
+  octree-search operations.
+* **Semi-approximate VEG**: the last expansion shell is sampled randomly
+  instead of distance-sorted -- removes the dominant ST-stage workload at a
+  small recall cost.
+
+Both are implemented as first-class options of the library; this bench
+quantifies the trade-off the paper proposes to explore.
+"""
+
+from repro.datastructuring.base import pick_random_centroids
+from repro.datastructuring.knn import BruteForceKNN
+from repro.datastructuring.veg import VoxelExpandedGatherer
+from repro.datasets.synthetic import sample_cad_shape
+from repro.hardware.dsu import DataStructuringUnit
+from repro.sampling.fps import FarthestPointSampler
+from repro.sampling.ois import OctreeIndexedSampler
+
+from conftest import emit
+
+_CLOUD = sample_cad_shape(10_000, shape="box", non_uniformity=0.3, seed=0)
+
+
+def test_ablation_approximate_ois(benchmark):
+    """Exact vs approximate OIS: quality (coverage radius) trade-off."""
+
+    def run_all():
+        exact = OctreeIndexedSampler(seed=0).sample(_CLOUD, 512)
+        approx = OctreeIndexedSampler(seed=0, approximate=True).sample(_CLOUD, 512)
+        fps = FarthestPointSampler(seed=0).sample(_CLOUD, 512)
+        return exact, approx, fps
+
+    exact, approx, fps = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    cov = {
+        "fps": fps.coverage_radius(_CLOUD),
+        "ois": exact.coverage_radius(_CLOUD),
+        "ois-approx": approx.coverage_radius(_CLOUD),
+    }
+    emit(
+        "Ablation (approximate OIS): coverage radius "
+        + ", ".join(f"{k}={v:.4f}" for k, v in cov.items())
+    )
+    # Approximate OIS stays within a modest factor of exact OIS quality.
+    assert cov["ois-approx"] <= 2.0 * cov["ois"]
+    # And both stay within a small factor of exact FPS.
+    assert cov["ois"] <= 2.5 * cov["fps"]
+
+
+def test_ablation_semi_approximate_veg(benchmark):
+    """Exact vs semi-approximate VEG: DSU latency vs neighbor recall."""
+    centroids = pick_random_centroids(_CLOUD, 256, seed=0)
+    knn = BruteForceKNN().gather(_CLOUD, centroids, 32)
+    dsu = DataStructuringUnit()
+
+    def run_both():
+        exact = VoxelExpandedGatherer(seed=0).gather(_CLOUD, centroids, 32)
+        semi = VoxelExpandedGatherer(semi_approximate=True, seed=0).gather(
+            _CLOUD, centroids, 32
+        )
+        return exact, semi
+
+    exact, semi = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    def recall(result):
+        truth = knn.neighbor_sets()
+        got = result.neighbor_sets()
+        return sum(len(a & b) / len(b) for a, b in zip(got, truth)) / len(truth)
+
+    exact_latency = dsu.seconds_for_run(exact.info["run_stats"], 32)
+    semi_latency = dsu.seconds_for_run(semi.info["run_stats"], 32)
+    emit(
+        "Ablation (semi-approximate VEG): "
+        f"exact recall={recall(exact):.3f} latency={exact_latency * 1e3:.3f} ms; "
+        f"semi recall={recall(semi):.3f} latency={semi_latency * 1e3:.3f} ms"
+    )
+    # The semi-approximate variant is faster on the DSU model...
+    assert semi_latency < exact_latency
+    # ...and keeps most of the exact recall (inner shells are unchanged).
+    assert recall(semi) > 0.5 * recall(exact)
+
+
+def test_ablation_voxel_parallelism(benchmark):
+    """Down-sampling Unit latency vs the number of Sampling Modules."""
+    from repro.hardware.sampling_module import DownSamplingUnit
+
+    def sweep():
+        return {
+            modules: DownSamplingUnit(num_modules=modules).seconds_per_frame(8, 4096)
+            for modules in (1, 2, 4, 8)
+        }
+
+    latencies = benchmark(sweep)
+    emit(
+        "Ablation (voxel-level parallelism): "
+        + ", ".join(f"{m} modules={s * 1e3:.3f} ms" for m, s in latencies.items())
+    )
+    assert latencies[8] < latencies[4] < latencies[1]

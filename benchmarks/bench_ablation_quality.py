@@ -1,0 +1,95 @@
+"""Ablation: sampling quality vs cost across the down-sampling methods.
+
+Quantifies the quality argument of Section VII-C (OIS retains FPS-like
+information while random sampling "cannot be fully trusted") with geometric
+metrics: coverage radius, Chamfer distance, and voxel-occupancy recall, next
+to each method's modelled CPU cost.
+"""
+
+from repro.analysis.quality import compare_samplers
+from repro.analysis.reporting import format_table
+from repro.datasets.synthetic import sample_cad_shape
+from repro.hardware.devices import get_device
+from repro.sampling import (
+    FarthestPointSampler,
+    OctreeIndexedSampler,
+    RandomSampler,
+    VoxelGridSampler,
+)
+
+from conftest import emit
+
+_CLOUD = sample_cad_shape(12_000, shape="box", non_uniformity=0.3, seed=0)
+_K = 512
+_SAMPLERS = {
+    "fps": FarthestPointSampler(seed=0),
+    "random": RandomSampler(seed=0),
+    "voxelgrid": VoxelGridSampler(seed=0),
+    "ois": OctreeIndexedSampler(seed=0),
+    "ois-approx": OctreeIndexedSampler(seed=0, approximate=True),
+}
+
+
+def test_ablation_sampling_quality(benchmark):
+    qualities = benchmark.pedantic(
+        lambda: compare_samplers(_CLOUD, _SAMPLERS, num_samples=_K),
+        rounds=1,
+        iterations=1,
+    )
+    cpu = get_device("xeon_w2255")
+    rows = []
+    for label, sampler in _SAMPLERS.items():
+        result = sampler.sample(_CLOUD, _K)
+        quality = qualities[label]
+        rows.append(
+            [
+                label,
+                quality.coverage_radius,
+                quality.chamfer_distance,
+                quality.voxel_occupancy_recall,
+                cpu.estimate_latency(result.counters, overlap=False) * 1e3,
+            ]
+        )
+    emit(
+        format_table(
+            ["sampler", "coverage radius", "chamfer", "occupancy recall",
+             "modelled CPU latency [ms]"],
+            rows,
+            title="Ablation: sampling quality vs cost (12k-point frame, K=512)",
+        )
+    )
+
+    # FPS has the best coverage; OIS preserves at least as much voxel
+    # occupancy as random sampling at a small fraction of FPS's cost.
+    assert qualities["fps"].coverage_radius <= qualities["random"].coverage_radius
+    assert (
+        qualities["ois"].voxel_occupancy_recall
+        >= qualities["random"].voxel_occupancy_recall
+    )
+
+
+def test_ablation_veg_ballquery_mode(benchmark):
+    """VEG supports ball query as well as KNN (Section VI)."""
+    from repro.datastructuring.base import pick_random_centroids
+    from repro.datastructuring.ballquery import BallQueryGatherer
+    from repro.datastructuring.veg import VoxelExpandedGatherer
+
+    centroids = pick_random_centroids(_CLOUD, 256, seed=0)
+
+    def run_veg_bq():
+        return VoxelExpandedGatherer(ball_radius=0.1, seed=0).gather(
+            _CLOUD, centroids, 32
+        )
+
+    veg = benchmark.pedantic(run_veg_bq, rounds=1, iterations=1)
+    exact = BallQueryGatherer(radius=0.1).gather(_CLOUD, centroids, 32)
+    reduction = (
+        exact.counters.distance_computations
+        / max(1, veg.counters.distance_computations)
+    )
+    emit(
+        "Ablation (VEG ball-query): distance computations "
+        f"exact={exact.counters.distance_computations}, "
+        f"VEG={veg.counters.distance_computations} ({reduction:.1f}x reduction)"
+    )
+    assert reduction > 2

@@ -1,0 +1,26 @@
+"""Figure 3: end-to-end execution time breakdown (motivation study).
+
+For each Table I benchmark, split the end-to-end latency of a general-purpose
+platform (Xeon CPU and desktop GPU) into the FPS pre-processing phase and the
+PointNet++ inference phase.  The paper's observation: pre-processing
+dominates, increasingly so for larger raw frames.
+"""
+
+import pytest
+
+from repro.analysis.figures import figure3_e2e_breakdown
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("platform", ["cpu", "gpu"])
+def test_fig03_breakdown(benchmark, platform):
+    report = benchmark(lambda: figure3_e2e_breakdown(platform))
+    emit(report.formatted())
+
+    fractions = {row[0]: float(row[4].rstrip("%")) for row in report.rows}
+    # Pre-processing dominates for the three large-raw-frame benchmarks.
+    for name in ("ModelNet40", "S3DIS", "KITTI"):
+        assert fractions[name] > 50.0
+    # ... and its share grows with the raw frame size.
+    assert fractions["KITTI"] > fractions["ModelNet40"]

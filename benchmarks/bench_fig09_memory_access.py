@@ -1,0 +1,46 @@
+"""Figure 9: memory-access saving from the OIS method.
+
+The analytic counter models evaluate the paper-scale frames (up to the
+average KITTI frame); the pytest-benchmark measurement runs the *functional*
+FPS and OIS implementations on a scaled-down frame to demonstrate the same
+saving with measured counters.
+"""
+
+from repro.analysis.figures import figure9_memory_access_saving
+from repro.datasets.synthetic import sample_cad_shape
+from repro.sampling.fps import FarthestPointSampler
+from repro.sampling.ois import OctreeIndexedSampler
+
+from conftest import emit
+
+
+def test_fig09_paper_scale_counters(benchmark):
+    report = benchmark(figure9_memory_access_saving)
+    emit(report.formatted())
+    savings = [float(row[5].rstrip("x")) for row in report.rows]
+    assert min(savings) > 1_000
+    assert max(savings) < 12_000
+
+
+def test_fig09_functional_counters(benchmark):
+    """Measured (not modelled) counters on a scaled-down frame."""
+    cloud = sample_cad_shape(20_000, shape="box", non_uniformity=0.3, seed=0)
+    num_samples = 512
+
+    def run_both():
+        fps = FarthestPointSampler(seed=0).sample(cloud, num_samples)
+        ois = OctreeIndexedSampler(seed=0).sample(cloud, num_samples)
+        return fps, ois
+
+    fps, ois = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    saving = (
+        fps.counters.total_host_memory_accesses()
+        / ois.counters.total_host_memory_accesses()
+    )
+    emit(
+        f"Figure 9 (functional, 20k-point frame, K=512): "
+        f"FPS accesses={fps.counters.total_host_memory_accesses()}, "
+        f"OIS accesses={ois.counters.total_host_memory_accesses()}, "
+        f"saving={saving:.0f}x"
+    )
+    assert saving > 100

@@ -1,0 +1,36 @@
+"""Figure 10: latency speedup of OIS over FPS on the CPU.
+
+The modelled speedups price the paper-scale frames on the Xeon profile; the
+pytest-benchmark measurements time the functional implementations on a
+scaled-down frame, demonstrating the same ordering with real wall-clock time.
+"""
+
+from repro.analysis.figures import figure10_ois_speedup_on_cpu
+from repro.datasets.synthetic import sample_cad_shape
+from repro.sampling.fps import FarthestPointSampler
+from repro.sampling.ois import OctreeIndexedSampler
+
+from conftest import emit
+
+_CLOUD = sample_cad_shape(12_000, shape="box", non_uniformity=0.3, seed=0)
+_K = 256
+
+
+def test_fig10_modelled_speedup(benchmark):
+    report = benchmark(figure10_ois_speedup_on_cpu)
+    emit(report.formatted())
+    speedups = [float(row[3].rstrip("x")) for row in report.rows]
+    assert min(speedups) > 300
+    assert max(speedups) > 1_500
+    # Larger frames benefit more.
+    assert speedups[-1] == max(speedups)
+
+
+def test_fig10_functional_fps_walltime(benchmark):
+    result = benchmark(lambda: FarthestPointSampler(seed=0).sample(_CLOUD, _K))
+    assert result.num_samples == _K
+
+
+def test_fig10_functional_ois_walltime(benchmark):
+    result = benchmark(lambda: OctreeIndexedSampler(seed=0).sample(_CLOUD, _K))
+    assert result.num_samples == _K

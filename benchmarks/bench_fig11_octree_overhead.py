@@ -1,0 +1,37 @@
+"""Figure 11: octree-build overhead of OIS-based sampling (on CPU).
+
+Also exercises the non-uniformity observation: a more non-uniform frame
+(``MN.piano``-like) produces a deeper/more unbalanced octree, so its build
+and walk cost more than a uniform frame of the same size (``MN.plant``-like).
+"""
+
+from repro.analysis.figures import figure11_octree_build_overhead
+from repro.datasets.synthetic import sample_cad_shape
+from repro.octree.builder import Octree
+
+from conftest import emit
+
+
+def test_fig11_build_fraction(benchmark):
+    report = benchmark(figure11_octree_build_overhead)
+    emit(report.formatted())
+    fractions = [float(row[4]) for row in report.rows]
+    assert all(0.2 < f <= 0.95 for f in fractions)
+
+
+def test_fig11_nonuniformity_effect(benchmark):
+    """Piano-vs-plant: same size, different spatial distribution."""
+
+    def build_both():
+        # Same shape, same size: only the sampling-density skew differs.
+        plant = sample_cad_shape(15_000, "sphere", non_uniformity=0.05, seed=1)
+        piano = sample_cad_shape(15_000, "sphere", non_uniformity=0.75, seed=1)
+        return Octree.build(plant, depth=6), Octree.build(piano, depth=6)
+
+    plant_tree, piano_tree = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    emit(
+        "Figure 11 (non-uniformity): "
+        f"plant non-uniformity={plant_tree.non_uniformity():.2f}, "
+        f"piano non-uniformity={piano_tree.non_uniformity():.2f}"
+    )
+    assert piano_tree.non_uniformity() > plant_tree.non_uniformity()

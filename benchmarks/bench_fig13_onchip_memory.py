@@ -1,0 +1,45 @@
+"""Figure 13: on-chip memory saving from the OIS method.
+
+Compares the FPGA-resident footprint of running FPS inside the device (raw
+frame + intermediate arrays) with OIS's Octree-Table + Sampled-Point-Table,
+against the Arria 10 GX 1150's 65 Mb budget.  The functional measurement
+builds a real Octree-Table and reports its actual size.
+"""
+
+from repro.analysis.figures import figure13_onchip_memory
+from repro.datasets.synthetic import lidar_scene
+from repro.hardware.memory import OnChipMemoryModel, fps_onchip_megabits
+from repro.octree.builder import Octree
+from repro.octree.linear import OctreeTable
+
+from conftest import emit
+
+
+def test_fig13_modelled_footprints(benchmark):
+    report = benchmark(figure13_onchip_memory)
+    emit(report.formatted())
+
+    savings = [float(row[3].rstrip("x")) for row in report.rows]
+    assert all(6.0 < s < 40.0 for s in savings)
+    # FPS overflows the device for million-point frames, OIS never does.
+    last = report.rows[-1]
+    assert last[4] == "no" and last[5] == "yes"
+
+
+def test_fig13_functional_octree_table_footprint(benchmark):
+    """Real Octree-Table size of a 30k-point frame, scaled comparison."""
+    cloud = lidar_scene(30_000, num_objects=10, seed=1)
+
+    def build_table():
+        return OctreeTable.from_octree(Octree.build(cloud, depth=6))
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    ois_mb = table.total_megabits()
+    fps_mb = fps_onchip_megabits(cloud.num_points)
+    emit(
+        f"Figure 13 (functional, 30k-point frame): Octree-Table {ois_mb:.2f} Mb "
+        f"vs FPS-resident {fps_mb:.2f} Mb ({fps_mb / ois_mb:.1f}x saving)"
+    )
+    budget = OnChipMemoryModel(capacity_megabits=65.0)
+    budget.allocate("octree_table", ois_mb)
+    assert budget.free_megabits() > 0

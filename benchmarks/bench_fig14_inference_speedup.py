@@ -1,0 +1,59 @@
+"""Figure 14: HgPCN inference-phase speedup over the baseline hardware.
+
+Baselines: Nvidia Jetson Xavier NX GPU, Mesorasi, and PointACC (all with a
+16x16 systolic array for the feature computation, random central-point
+picking as in the paper's setup).  The functional measurement runs the
+VEG-backed PointNet++ on a down-sampled input to exercise the same code path
+the latency models describe.
+"""
+
+from repro.analysis.figures import figure14_inference_speedup
+from repro.core.config import HgPCNConfig, InferenceEngineConfig
+from repro.core.engine import InferenceEngine
+from repro.datasets.synthetic import sample_cad_shape
+from repro.sampling.ois import OctreeIndexedSampler
+
+from conftest import emit
+
+
+def test_fig14_speedups(benchmark):
+    report = benchmark(figure14_inference_speedup)
+    emit(report.formatted())
+
+    def column(label):
+        index = report.headers.index(label)
+        return [float(row[index].rstrip("x")) for row in report.rows]
+
+    jetson = column("vs Jetson NX GPU")
+    mesorasi = column("vs Mesorasi")
+    pointacc = column("vs PointACC")
+
+    # Paper bands: 6.4-21x (Jetson), 2.2-16.5x (Mesorasi), 1.3-10.2x (PointACC).
+    assert 4.0 < jetson[0] and jetson[-1] < 30.0
+    assert mesorasi[-1] > 10.0
+    assert 1.0 < pointacc[0] < 3.0 and 5.0 < pointacc[-1] < 14.0
+    # Speedups grow with the task's input size for every baseline.
+    for series in (jetson, mesorasi, pointacc):
+        assert series[-1] > series[0]
+
+
+def test_fig14_functional_hgpcn_inference(benchmark):
+    """Functional VEG-backed PointNet++ classification on a 512-point input."""
+    cloud = sample_cad_shape(6_000, shape="box", non_uniformity=0.3, seed=0)
+    sampled = OctreeIndexedSampler(seed=0).sample(cloud, 512).sampled
+    engine = InferenceEngine(
+        config=HgPCNConfig(
+            inference=InferenceEngineConfig(
+                num_centroids=128, neighbors_per_centroid=16, seed=0
+            )
+        ),
+        task="classification",
+    )
+    execution = benchmark.pedantic(
+        lambda: engine.process(sampled), rounds=1, iterations=1
+    )
+    emit(
+        "Figure 14 (functional HgPCN engine, 512-point input): modelled "
+        f"inference latency {execution.total_seconds() * 1e3:.3f} ms"
+    )
+    assert execution.forward.logits.shape == (1, 40)

@@ -1,0 +1,47 @@
+"""Figure 15: sorting-workload reduction from the VEG method.
+
+Compares the number of candidates that enter the ranking hardware per
+inference: the full input point cloud for PointACC-style full-range search
+versus only the last expansion shell for VEG.  The functional measurement
+gathers real neighborhoods and reports the measured shell statistics.
+"""
+
+from repro.analysis.figures import figure15_veg_benefit
+from repro.datastructuring.base import pick_random_centroids
+from repro.datastructuring.knn import BruteForceKNN
+from repro.datastructuring.veg import VoxelExpandedGatherer
+from repro.datasets.synthetic import indoor_room
+
+from conftest import emit
+
+
+def test_fig15_modelled_reduction(benchmark):
+    report = benchmark(figure15_veg_benefit)
+    emit(report.formatted())
+    reductions = [float(row[4].rstrip("x")) for row in report.rows]
+    # The reduction grows with input size (the paper's key observation).
+    assert reductions == sorted(reductions)
+    assert reductions[0] > 5
+    assert reductions[-1] > 100
+
+
+def test_fig15_functional_reduction(benchmark):
+    """Measured sorter workload on a real (scaled-down) S3DIS-style input."""
+    cloud = indoor_room(4_096, seed=0)
+    centroids = pick_random_centroids(cloud, 512, seed=0)
+
+    def run_veg():
+        return VoxelExpandedGatherer(seed=0).gather(cloud, centroids, 32)
+
+    veg = benchmark.pedantic(run_veg, rounds=1, iterations=1)
+    knn = BruteForceKNN().gather(cloud, centroids, 32)
+    run_stats = veg.info["run_stats"]
+    reduction = knn.counters.compare_ops / max(1, veg.counters.compare_ops)
+    emit(
+        "Figure 15 (functional, 4096-point input, 512 centroids, K=32): "
+        f"full-range sorted={knn.counters.compare_ops}, "
+        f"VEG sorted={veg.counters.compare_ops} "
+        f"(mean last shell {run_stats.mean_sorted_candidates():.1f} points), "
+        f"reduction={reduction:.0f}x"
+    )
+    assert reduction > 5

@@ -1,0 +1,49 @@
+"""Figure 16: latency breakdown of the VEG method across the DSU stages.
+
+Splits the Data Structuring Unit's cycles across its six pipeline stages
+(FP, LV, VE, GP, ST, BF) for each benchmark task, using both the analytic
+shell statistics and the measured statistics from the functional VEG run.
+"""
+
+from repro.analysis.figures import figure16_veg_breakdown
+from repro.datastructuring.base import pick_random_centroids
+from repro.datastructuring.veg import VoxelExpandedGatherer
+from repro.datasets.synthetic import indoor_room
+from repro.hardware.dsu import DataStructuringUnit
+
+from conftest import emit
+
+
+def test_fig16_modelled_breakdown(benchmark):
+    report = benchmark(figure16_veg_breakdown)
+    emit(report.formatted())
+    # The sort stage dominates, as the paper notes when motivating the
+    # semi-approximate VEG extension.
+    st_index = report.headers.index("ST")
+    for row in report.rows:
+        st_share = float(row[st_index].rstrip("%"))
+        assert st_share > 50.0
+
+
+def test_fig16_measured_breakdown(benchmark):
+    """Stage breakdown from measured VEG statistics on a real input."""
+    cloud = indoor_room(4_096, seed=1)
+    centroids = pick_random_centroids(cloud, 512, seed=0)
+    veg = VoxelExpandedGatherer(seed=0).gather(cloud, centroids, 32)
+    dsu = DataStructuringUnit()
+
+    breakdown = benchmark.pedantic(
+        lambda: dsu.breakdown_for_run(veg.info["run_stats"], neighbors=32),
+        rounds=1,
+        iterations=1,
+    )
+    total = breakdown.total_cycles()
+    shares = {
+        stage: 100 * cycles / total for stage, cycles in breakdown.cycles.items()
+    }
+    emit(
+        "Figure 16 (measured, 4096-point input): "
+        + ", ".join(f"{stage}={share:.1f}%" for stage, share in shares.items())
+        + f"; pipelined latency {dsu.seconds_for_run(veg.info['run_stats'], 32) * 1e3:.3f} ms"
+    )
+    assert breakdown.bottleneck_stage() == "ST"

@@ -1,0 +1,45 @@
+"""Table I: the evaluation benchmark suite.
+
+Regenerates the Table I rows (application, dataset, input size, PCN model)
+and benchmarks the synthetic frame generation that stands in for loading the
+real datasets.
+"""
+
+from repro.analysis.figures import table1_benchmarks
+from repro.datasets import (
+    KittiLikeDataset,
+    ModelNetLikeDataset,
+    S3DISLikeDataset,
+    ShapeNetLikeDataset,
+)
+
+from conftest import emit
+
+
+def test_table1_rows(benchmark, emit_report):
+    report = benchmark(table1_benchmarks)
+    emit_report(report.formatted())
+    assert len(report.rows) == 4
+    assert [row[2] for row in report.rows] == [1024, 2048, 4096, 16384]
+
+
+def test_table1_frame_generation(benchmark):
+    """Generating one scaled-down frame per benchmark dataset."""
+
+    def generate_all():
+        frames = []
+        for cls in (
+            ModelNetLikeDataset,
+            ShapeNetLikeDataset,
+            S3DISLikeDataset,
+            KittiLikeDataset,
+        ):
+            frames.append(cls(num_frames=1, seed=0, scale=0.003).generate_frame(0))
+        return frames
+
+    frames = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    emit(
+        "Table I frame generation: "
+        + ", ".join(f"{f.frame_id}={f.num_points}pts" for f in frames)
+    )
+    assert len(frames) == 4

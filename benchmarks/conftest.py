@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper: it
+computes the same rows/series the paper reports (using the analytic models at
+paper-scale parameters), prints them, and wraps the functional kernel behind
+the result in a pytest-benchmark measurement so `pytest benchmarks/
+--benchmark-only` also tracks the wall-clock cost of the reproduction itself.
+
+Run ``python benchmarks/run_all.py`` to print every table without pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def emit(report: str) -> None:
+    """Print a reproduction table so it lands in the benchmark log."""
+    sys.stdout.write("\n" + report + "\n")
+    sys.stdout.flush()
+
+
+@pytest.fixture
+def emit_report():
+    return emit

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Print every reproduced table and figure of the paper's evaluation.
+
+Usage::
+
+    python benchmarks/run_all.py            # all exhibits
+    python benchmarks/run_all.py fig14      # only exhibits matching "fig14"
+
+This is the quickest way to regenerate the numbers recorded in
+EXPERIMENTS.md without going through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.figures import all_reports, match_reports
+
+
+def main(argv: list[str]) -> int:
+    needle = argv[1] if len(argv) > 1 else ""
+    reports = all_reports()
+    matched = match_reports(needle, reports)
+    if not matched:
+        print(f"no exhibit matches {needle!r}; available:")
+        for report in reports:
+            print(f"  - {report.exhibit}: {report.title}")
+        return 1
+    for report in matched:
+        print(report.formatted())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

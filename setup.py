@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` falls back to the legacy (setup.py develop) editable
+install when PEP 660 metadata generation is unavailable; all project
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro -- a reproduction of HgPCN (MICRO 2024).
+
+HgPCN is an end-to-end heterogeneous architecture for embedded point cloud
+inference.  This package reimplements, from scratch in Python, the paper's
+two contributions -- Octree-Indexed Sampling (OIS) for the pre-processing
+phase and Voxel-Expanded Gathering (VEG) for the data structuring step of
+the inference phase -- together with every substrate they depend on: the
+octree spatial index, the samplers and neighbor-gathering baselines, a numpy
+PointNet++, analytic hardware cost models of the CPU/GPU/FPGA platforms and
+of the PointACC and Mesorasi accelerators, and synthetic datasets with the
+statistics of the paper's four benchmarks.
+
+Quick start::
+
+    from repro import HgPCNSystem, HgPCNConfig
+    from repro.datasets import KittiLikeDataset
+
+    dataset = KittiLikeDataset(num_frames=2, scale=0.01)
+    system = HgPCNSystem(config=HgPCNConfig.for_task(input_size=1024),
+                         task="semantic_segmentation")
+    result = system.process_frame(dataset.generate_frame(0))
+    print(result.breakdown.as_dict())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.core.config import (
+    HgPCNConfig,
+    InferenceEngineConfig,
+    PreprocessingConfig,
+    SystemConfig,
+)
+from repro.core.engine import InferenceEngine, PreprocessingEngine
+from repro.core.metrics import LatencyBreakdown, OpCounters
+from repro.core.pipeline import EndToEndResult, HgPCNSystem
+from repro.geometry.pointcloud import PointCloud
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EndToEndResult",
+    "HgPCNConfig",
+    "HgPCNSystem",
+    "InferenceEngine",
+    "InferenceEngineConfig",
+    "LatencyBreakdown",
+    "OpCounters",
+    "PointCloud",
+    "PreprocessingConfig",
+    "PreprocessingEngine",
+    "SystemConfig",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Accelerator and device executor models for the Figure 14 comparison.
+
+* :class:`~repro.accelerators.hgpcn.HgPCNInferenceAccelerator` -- the paper's
+  Inference Engine (DSU + FCU on the FPGA).
+* :class:`~repro.accelerators.pointacc.PointACCModel` -- PointACC's Mapping
+  Unit (full-input bitonic sort) + systolic array.
+* :class:`~repro.accelerators.mesorasi.MesorasiModel` -- Mesorasi's delayed
+  aggregation with GPU-side neighbor search overlapped with the array.
+* :class:`~repro.accelerators.gpu.GPUExecutor` / :class:`~repro.accelerators.
+  cpu.CPUExecutor` -- general-purpose platforms used for the end-to-end
+  baselines (Figures 3 and 12) and the Jetson comparison of Figure 14.
+"""
+
+from repro.accelerators.base import (
+    GatherLayerSpec,
+    InferenceAccelerator,
+    InferenceReport,
+    InferenceWorkloadSpec,
+)
+from repro.accelerators.cpu import CPUExecutor
+from repro.accelerators.gpu import GPUExecutor
+from repro.accelerators.hgpcn import HgPCNInferenceAccelerator
+from repro.accelerators.mesorasi import MesorasiModel
+from repro.accelerators.pointacc import PointACCModel
+
+__all__ = [
+    "CPUExecutor",
+    "GPUExecutor",
+    "GatherLayerSpec",
+    "HgPCNInferenceAccelerator",
+    "InferenceAccelerator",
+    "InferenceReport",
+    "InferenceWorkloadSpec",
+    "MesorasiModel",
+    "PointACCModel",
+]

@@ -1,0 +1,156 @@
+"""Shared abstractions of the accelerator comparison (Figure 14).
+
+An :class:`InferenceWorkloadSpec` describes one inference-phase workload the
+way the paper's evaluation does: a Table I task (dataset, model variant,
+input size) plus the gathering size.  From it every accelerator model derives
+
+* the **data structuring layers** -- for each set-abstraction layer, how many
+  central points gather from how large a candidate pool; and
+* the **feature computation workload** -- the MVM layer list of the
+  PointNet++ variant.
+
+Accelerators differ in how they execute those two parts, which is exactly
+the comparison the paper draws.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.metrics import LatencyBreakdown
+from repro.network.workload import NetworkWorkload, synthetic_pointnet2_workload
+
+
+@dataclass(frozen=True)
+class GatherLayerSpec:
+    """One data structuring layer: M centroids over a pool of N candidates."""
+
+    name: str
+    num_centroids: int
+    pool_size: int
+    neighbors: int
+
+
+@dataclass(frozen=True)
+class InferenceWorkloadSpec:
+    """One inference-phase workload of the Figure 14 comparison."""
+
+    dataset: str
+    task: str
+    input_size: int
+    neighbors: int = 32
+    input_feature_channels: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_size <= 0:
+            raise ValueError("input_size must be positive")
+        if self.neighbors <= 0:
+            raise ValueError("neighbors must be positive")
+        if self.task not in (
+            "classification",
+            "part_segmentation",
+            "semantic_segmentation",
+        ):
+            raise ValueError(f"unknown task {self.task!r}")
+
+    # ------------------------------------------------------------------
+    def gather_layers(self) -> List[GatherLayerSpec]:
+        """Data structuring layers of the PointNet++ variant for this task."""
+        if self.task == "classification":
+            sa1 = max(1, self.input_size // 2)
+            sa2 = max(1, self.input_size // 8)
+        else:
+            sa1 = max(1, self.input_size // 4)
+            sa2 = max(1, self.input_size // 16)
+        return [
+            GatherLayerSpec(
+                name="sa1",
+                num_centroids=sa1,
+                pool_size=self.input_size,
+                neighbors=self.neighbors,
+            ),
+            GatherLayerSpec(
+                name="sa2",
+                num_centroids=sa2,
+                pool_size=sa1,
+                neighbors=min(64, self.neighbors * 2),
+            ),
+        ]
+
+    def network_workload(self) -> NetworkWorkload:
+        """The MVM workload of the PointNet++ variant for this task."""
+        return synthetic_pointnet2_workload(
+            input_size=self.input_size,
+            task=self.task,
+            neighbors=self.neighbors,
+            input_feature_channels=self.input_feature_channels,
+        )
+
+    @classmethod
+    def from_benchmark(cls, name: str, neighbors: int = 32) -> "InferenceWorkloadSpec":
+        """Build the spec for a Table I benchmark row."""
+        from repro.datasets.base import get_benchmark
+
+        spec = get_benchmark(name)
+        return cls(
+            dataset=spec.name,
+            task=spec.task,
+            input_size=spec.input_size,
+            neighbors=neighbors,
+        )
+
+
+@dataclass
+class InferenceReport:
+    """Latency report of one accelerator on one workload."""
+
+    accelerator: str
+    workload: InferenceWorkloadSpec
+    breakdown: LatencyBreakdown
+    #: Whether data structuring and feature computation overlap on this
+    #: platform (systolic array fed while gathering continues).
+    overlapped: bool = True
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def data_structuring_seconds(self) -> float:
+        return self.breakdown.seconds_for("data_structuring")
+
+    @property
+    def feature_computation_seconds(self) -> float:
+        return self.breakdown.seconds_for("feature_computation")
+
+    @property
+    def overhead_seconds(self) -> float:
+        return self.breakdown.seconds_for("overhead")
+
+    def total_seconds(self) -> float:
+        """End-to-inference latency honouring the overlap model."""
+        ds = self.data_structuring_seconds
+        fc = self.feature_computation_seconds
+        body = max(ds, fc) if self.overlapped else ds + fc
+        return body + self.overhead_seconds
+
+    def speedup_over(self, other: "InferenceReport") -> float:
+        """How much faster *this* report is than ``other`` (>1 means faster)."""
+        mine = self.total_seconds()
+        if mine <= 0:
+            raise ValueError("cannot compute speedup of a zero-latency report")
+        return other.total_seconds() / mine
+
+
+class InferenceAccelerator(abc.ABC):
+    """Interface of every inference-phase platform model."""
+
+    name: str = "accelerator"
+
+    @abc.abstractmethod
+    def inference_report(
+        self, workload: InferenceWorkloadSpec
+    ) -> InferenceReport:
+        """Estimate the inference-phase latency of ``workload``."""
+
+    def inference_seconds(self, workload: InferenceWorkloadSpec) -> float:
+        return self.inference_report(workload).total_seconds()

@@ -1,0 +1,129 @@
+"""General-purpose CPU executor model (Intel Xeon W-2255 baseline).
+
+The CPU appears in the paper in three roles: the software baseline of the
+OIS-vs-FPS study (Figures 9-11, both algorithms on the CPU), the host side of
+the HgPCN Pre-processing Engine (octree build), and an end-to-end baseline of
+the motivation study (Figure 3).  CPU execution serialises compute and memory
+poorly on these pointer-heavy kernels, which the ``overlap=False`` roofline
+setting reflects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerators.base import (
+    InferenceAccelerator,
+    InferenceReport,
+    InferenceWorkloadSpec,
+)
+from repro.core.metrics import LatencyBreakdown, OpCounters
+from repro.hardware.devices import DeviceProfile, get_device
+from repro.sampling.fps import fps_counter_model
+from repro.sampling.ois import ois_counter_model
+
+
+@dataclass
+class CPUExecutor(InferenceAccelerator):
+    """A CPU running either phase of the pipeline."""
+
+    profile: DeviceProfile | str = "xeon_w2255"
+    name: str = "cpu"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.profile, str):
+            self.profile = get_device(self.profile)
+        self.name = f"cpu:{self.profile.name}"
+
+    # ------------------------------------------------------------------
+    # Pre-processing phase
+    # ------------------------------------------------------------------
+    def preprocessing_seconds(
+        self,
+        num_points: int,
+        num_samples: int,
+        method: str = "fps",
+        octree_depth: int = 8,
+    ) -> float:
+        """Down-sampling latency of one raw frame on this CPU."""
+        if method == "fps":
+            counters = fps_counter_model(num_points, num_samples)
+        elif method == "random":
+            counters = OpCounters(
+                host_memory_reads=num_samples, host_memory_writes=num_samples
+            )
+        elif method == "random+reinforce":
+            counters = OpCounters(
+                host_memory_reads=num_samples * 17,
+                host_memory_writes=num_samples,
+                distance_computations=num_samples * 16,
+                mac_ops=num_samples * (16 * 3 * 32 + 32 * 32),
+            )
+        elif method == "ois":
+            counters = ois_counter_model(num_points, num_samples, octree_depth)
+        else:
+            raise ValueError(f"unknown pre-processing method {method!r}")
+        return self.profile.estimate_latency(counters, overlap=False)
+
+    def ois_breakdown_seconds(
+        self, num_points: int, num_samples: int, octree_depth: int
+    ) -> LatencyBreakdown:
+        """OIS-on-CPU latency split into octree build vs sampling walk.
+
+        Used by the Figure 11 overhead analysis: the build phase streams the
+        whole frame, the walk touches only the octree and the picked points.
+        """
+        build = ois_counter_model(
+            num_points, num_samples, octree_depth, include_build=True
+        )
+        walk = ois_counter_model(
+            num_points, num_samples, octree_depth, include_build=False
+        )
+        build_only = OpCounters(
+            host_memory_reads=build.host_memory_reads - walk.host_memory_reads,
+            host_memory_writes=build.host_memory_writes - walk.host_memory_writes,
+            compare_ops=build.compare_ops - walk.compare_ops,
+        )
+        breakdown = LatencyBreakdown()
+        breakdown.add(
+            "octree_build",
+            self.profile.estimate_latency(build_only, overlap=False),
+        )
+        breakdown.add(
+            "sampling_walk", self.profile.estimate_latency(walk, overlap=False)
+        )
+        return breakdown
+
+    # ------------------------------------------------------------------
+    # Inference phase
+    # ------------------------------------------------------------------
+    def inference_report(self, workload: InferenceWorkloadSpec) -> InferenceReport:
+        breakdown = LatencyBreakdown()
+
+        ds_seconds = 0.0
+        for layer in workload.gather_layers():
+            counters = OpCounters()
+            candidates = layer.num_centroids * layer.pool_size
+            counters.distance_computations = candidates
+            counters.compare_ops = candidates
+            counters.host_memory_reads = candidates
+            counters.host_memory_writes = layer.num_centroids * layer.neighbors
+            ds_seconds += self.profile.estimate_latency(counters, overlap=False)
+        breakdown.add("data_structuring", ds_seconds)
+
+        network = workload.network_workload()
+        fc_counters = OpCounters(
+            mac_ops=network.total_mac_ops(),
+            host_memory_reads=network.total_output_activations(),
+        )
+        breakdown.add(
+            "feature_computation",
+            self.profile.estimate_latency(fc_counters, overlap=False),
+        )
+        breakdown.add("overhead", self.profile.invocation_overhead_s)
+        return InferenceReport(
+            accelerator=self.name,
+            workload=workload,
+            breakdown=breakdown,
+            overlapped=False,
+        )

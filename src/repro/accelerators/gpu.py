@@ -1,0 +1,138 @@
+"""General-purpose GPU executor model.
+
+Used in two roles:
+
+* the **Jetson Xavier NX** inference baseline of Figure 14 (data structuring
+  and feature computation both on the GPU, no overlap between the irregular
+  gather kernels and the dense MLP kernels);
+* the **desktop GPU (RTX 4060 Ti)** end-to-end baseline of the motivation
+  study (Figure 3), including the FPS pre-processing phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.accelerators.base import (
+    GatherLayerSpec,
+    InferenceAccelerator,
+    InferenceReport,
+    InferenceWorkloadSpec,
+)
+from repro.core.metrics import LatencyBreakdown, OpCounters
+from repro.hardware.devices import DeviceProfile, get_device
+from repro.sampling.fps import fps_counter_model
+from repro.sampling.ois import ois_counter_model
+
+
+def gpu_gather_counters(layer: GatherLayerSpec) -> OpCounters:
+    """Operation counts of one KNN gather layer on a general-purpose GPU.
+
+    Framework implementations compute the full distance matrix and then sort
+    each centroid's distance row to take the top k (a full per-row sort, not
+    a selection network), so the comparison count carries a ``log2(pool)``
+    factor on top of the distance computations.  This sorting inefficiency is
+    a large part of why the data structuring step dominates PCN inference on
+    GPUs (Section III-B).
+    """
+    counters = OpCounters()
+    candidates = layer.num_centroids * layer.pool_size
+    sort_factor = max(1, int(math.ceil(math.log2(max(2, layer.pool_size)))))
+    counters.distance_computations = candidates
+    counters.compare_ops = candidates * sort_factor
+    counters.host_memory_reads = candidates
+    counters.host_memory_writes = layer.num_centroids * layer.neighbors
+    return counters
+
+
+@dataclass
+class GPUExecutor(InferenceAccelerator):
+    """A GPU running both phases with framework/kernel-launch overheads."""
+
+    profile: DeviceProfile | str = "jetson_xavier_nx"
+    #: Kernel launches per gather layer.  Framework implementations of the
+    #: set-abstraction grouping issue many small kernels (pairwise distances,
+    #: chunked top-k, index gathers for coordinates and features,
+    #: re-centering, padding), so the per-layer launch overhead is a large
+    #: constant at small input sizes.
+    kernels_per_gather_layer: int = 12
+    #: Kernel launches per MLP layer.
+    kernels_per_mlp_layer: int = 1
+    name: str = "gpu"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.profile, str):
+            self.profile = get_device(self.profile)
+        self.name = f"gpu:{self.profile.name}"
+
+    # ------------------------------------------------------------------
+    # Inference phase (Figure 14 baseline)
+    # ------------------------------------------------------------------
+    def data_structuring_seconds(self, workload: InferenceWorkloadSpec) -> float:
+        seconds = 0.0
+        for layer in workload.gather_layers():
+            counters = gpu_gather_counters(layer)
+            seconds += self.profile.estimate_latency(counters)
+            seconds += (
+                self.kernels_per_gather_layer * self.profile.invocation_overhead_s
+            )
+        return seconds
+
+    def feature_computation_seconds(self, workload: InferenceWorkloadSpec) -> float:
+        network = workload.network_workload()
+        counters = OpCounters(mac_ops=network.total_mac_ops())
+        # Activations stream through device memory once per layer.
+        counters.host_memory_reads = network.total_output_activations()
+        seconds = self.profile.estimate_latency(counters)
+        seconds += (
+            len(network.layers)
+            * self.kernels_per_mlp_layer
+            * self.profile.invocation_overhead_s
+        )
+        return seconds
+
+    def inference_report(self, workload: InferenceWorkloadSpec) -> InferenceReport:
+        breakdown = LatencyBreakdown()
+        breakdown.add("data_structuring", self.data_structuring_seconds(workload))
+        breakdown.add(
+            "feature_computation", self.feature_computation_seconds(workload)
+        )
+        breakdown.add("overhead", self.profile.invocation_overhead_s)
+        return InferenceReport(
+            accelerator=self.name,
+            workload=workload,
+            breakdown=breakdown,
+            overlapped=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Pre-processing phase (Figures 3 and 12 baselines)
+    # ------------------------------------------------------------------
+    def preprocessing_seconds(
+        self,
+        num_points: int,
+        num_samples: int,
+        method: str = "fps",
+        octree_depth: int = 8,
+    ) -> float:
+        """Down-sampling latency of one raw frame on this GPU."""
+        if method == "fps":
+            counters = fps_counter_model(num_points, num_samples)
+        elif method == "random":
+            counters = OpCounters(
+                host_memory_reads=num_samples, host_memory_writes=num_samples
+            )
+        elif method == "random+reinforce":
+            counters = OpCounters(
+                host_memory_reads=num_samples * 17,
+                host_memory_writes=num_samples,
+                distance_computations=num_samples * 16,
+                mac_ops=num_samples * (16 * 3 * 32 + 32 * 32),
+            )
+        elif method == "ois":
+            counters = ois_counter_model(num_points, num_samples, octree_depth)
+        else:
+            raise ValueError(f"unknown pre-processing method {method!r}")
+        return self.profile.estimate_latency(counters)

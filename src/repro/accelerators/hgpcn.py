@@ -1,0 +1,88 @@
+"""The HgPCN Inference Engine model (DSU + FCU).
+
+Data structuring runs on the Data Structuring Unit: per central point only
+the last voxel-expansion shell is distance-sorted (Section VI), so the sort
+workload is a small constant per centroid instead of the whole input.  The
+feature computation runs on the commercial-DLA-style systolic array.  The two
+units are pipelined through the input buffer, so the phase latency is the
+maximum of the two plus a small drain/fill overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.accelerators.base import (
+    InferenceAccelerator,
+    InferenceReport,
+    InferenceWorkloadSpec,
+)
+from repro.core.metrics import LatencyBreakdown
+from repro.datastructuring.veg import VEGRunStats
+from repro.hardware.dsu import DataStructuringUnit
+from repro.hardware.fcu import FeatureComputationUnit
+from repro.hardware.interconnect import InterconnectModel
+from repro.hardware.systolic import SystolicArray
+
+
+@dataclass
+class HgPCNInferenceAccelerator(InferenceAccelerator):
+    """HgPCN Inference Engine: VEG-based DSU feeding a 16x16 systolic FCU."""
+
+    name: str = "hgpcn"
+    dsu: DataStructuringUnit = field(default_factory=DataStructuringUnit)
+    fcu: FeatureComputationUnit = field(
+        default_factory=lambda: FeatureComputationUnit(array=SystolicArray())
+    )
+    interconnect: InterconnectModel = field(default_factory=InterconnectModel)
+    #: Average size of the last expansion shell relative to the gathering
+    #: size, used by the analytic path; the measured-statistics path
+    #: (``measured_run_stats``) overrides it.
+    last_shell_factor: float = 2.5
+    #: Pipeline fill/drain overhead between DSU and FCU, seconds.
+    pipeline_overhead_s: float = 2.0e-5
+
+    def inference_report(
+        self,
+        workload: InferenceWorkloadSpec,
+        measured_run_stats: Optional[dict[str, VEGRunStats]] = None,
+    ) -> InferenceReport:
+        """Latency report; ``measured_run_stats`` maps layer name to the VEG
+        statistics measured by the functional implementation (when available
+        they replace the analytic average-shell assumption)."""
+        breakdown = LatencyBreakdown()
+
+        ds_seconds = 0.0
+        for layer in workload.gather_layers():
+            if measured_run_stats and layer.name in measured_run_stats:
+                run_stats = measured_run_stats[layer.name]
+            else:
+                run_stats = self.dsu.synthetic_run_stats(
+                    num_centroids=layer.num_centroids,
+                    neighbors=layer.neighbors,
+                    mean_last_shell=self.last_shell_factor * layer.neighbors,
+                )
+            ds_seconds += self.dsu.seconds_for_run(run_stats, layer.neighbors)
+        breakdown.add("data_structuring", ds_seconds)
+
+        fc_seconds = self.fcu.seconds_for_workload(workload.network_workload())
+        breakdown.add("feature_computation", fc_seconds)
+
+        # Output transfer of the logits back to the host plus pipeline fill.
+        output_bytes = workload.input_size * 4 * 16
+        breakdown.add(
+            "overhead",
+            self.pipeline_overhead_s
+            + self.interconnect.transfer_seconds(output_bytes),
+        )
+        return InferenceReport(
+            accelerator=self.name,
+            workload=workload,
+            breakdown=breakdown,
+            overlapped=True,
+            details={
+                "dsu_frequency_hz": self.dsu.frequency_hz,
+                "fcu_macs_per_cycle": self.fcu.array.macs_per_cycle,
+            },
+        )

@@ -1,0 +1,99 @@
+"""Mesorasi baseline model (Feng et al., MICRO 2020).
+
+Mesorasi's *delayed aggregation* decouples neighbor aggregation from the MLP
+so the matrix work shrinks (the MLP runs once per point instead of once per
+gathered neighbor) and the neighbor search can overlap with the feature
+computation.  However the neighbor search itself still runs on the
+general-purpose GPU cores, and the paper observes that this remains the
+dominant latency ("the inference speed is still largely limited by the
+latency of the data structuring step").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerators.base import (
+    InferenceAccelerator,
+    InferenceReport,
+    InferenceWorkloadSpec,
+)
+from repro.accelerators.gpu import gpu_gather_counters
+from repro.core.metrics import LatencyBreakdown
+from repro.hardware.devices import DeviceProfile, get_device
+from repro.hardware.fcu import FeatureComputationUnit
+from repro.hardware.interconnect import InterconnectModel
+from repro.hardware.systolic import SystolicArray
+from repro.network.workload import NetworkWorkload
+
+
+@dataclass
+class MesorasiModel(InferenceAccelerator):
+    """Delayed aggregation: GPU-side neighbor search + systolic array MLPs."""
+
+    name: str = "mesorasi"
+    #: GPU used for the data structuring step (an embedded-class GPU in the
+    #: original evaluation).
+    gpu_profile: DeviceProfile | str = "jetson_xavier_nx"
+    fcu: FeatureComputationUnit = field(
+        default_factory=lambda: FeatureComputationUnit(array=SystolicArray())
+    )
+    interconnect: InterconnectModel = field(default_factory=InterconnectModel)
+    #: MAC reduction of delayed aggregation: the per-neighbor MLP collapses to
+    #: a per-point MLP plus a cheap aggregation, roughly halving the MVM work
+    #: of the set-abstraction layers.
+    delayed_aggregation_factor: float = 0.55
+    #: Per-gather-layer overhead: the GPU-side neighbor search issues many
+    #: small kernels and its results must be synchronised and marshalled into
+    #: the accelerator's buffers before the layer's matrix work can stream.
+    per_layer_overhead_s: float = 2.5e-3
+    overlapped: bool = True
+
+    def _gpu(self) -> DeviceProfile:
+        if isinstance(self.gpu_profile, str):
+            return get_device(self.gpu_profile)
+        return self.gpu_profile
+
+    # ------------------------------------------------------------------
+    def data_structuring_seconds(self, workload: InferenceWorkloadSpec) -> float:
+        gpu = self._gpu()
+        seconds = 0.0
+        for layer in workload.gather_layers():
+            counters = gpu_gather_counters(layer)
+            seconds += gpu.estimate_latency(counters) + self.per_layer_overhead_s
+        return seconds
+
+    def _reduced_workload(self, workload: InferenceWorkloadSpec) -> NetworkWorkload:
+        full = workload.network_workload()
+        reduced = NetworkWorkload()
+        for layer in full.layers:
+            is_sa_mlp = layer.name.startswith("sa")
+            factor = self.delayed_aggregation_factor if is_sa_mlp else 1.0
+            reduced.layers.append(
+                type(layer)(
+                    name=layer.name,
+                    num_vectors=max(1, int(layer.num_vectors * factor)),
+                    mac_ops=max(1, int(layer.mac_ops * factor)),
+                    output_channels=layer.output_channels,
+                )
+            )
+        return reduced
+
+    def inference_report(self, workload: InferenceWorkloadSpec) -> InferenceReport:
+        breakdown = LatencyBreakdown()
+        breakdown.add("data_structuring", self.data_structuring_seconds(workload))
+        breakdown.add(
+            "feature_computation",
+            self.fcu.seconds_for_workload(self._reduced_workload(workload)),
+        )
+        output_bytes = workload.input_size * 4 * 16
+        breakdown.add("overhead", self.interconnect.transfer_seconds(output_bytes))
+        return InferenceReport(
+            accelerator=self.name,
+            workload=workload,
+            breakdown=breakdown,
+            overlapped=self.overlapped,
+            details={
+                "delayed_aggregation_factor": self.delayed_aggregation_factor,
+            },
+        )

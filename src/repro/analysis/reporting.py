@@ -1,0 +1,101 @@
+"""Plain-text table/series formatting used by benchmarks and examples.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and readable
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a fixed-width text table."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_speedup_series(
+    series: Mapping[str, Mapping[str, float]],
+    baseline_label: str = "baseline",
+    title: str | None = None,
+) -> str:
+    """Render a ``{benchmark: {baseline: speedup}}`` mapping as a table."""
+    benchmarks = list(series.keys())
+    baselines: list[str] = []
+    for values in series.values():
+        for key in values:
+            if key not in baselines:
+                baselines.append(key)
+    headers = ["benchmark"] + [f"vs {b}" for b in baselines]
+    rows = []
+    for benchmark in benchmarks:
+        row: list[object] = [benchmark]
+        for baseline in baselines:
+            value = series[benchmark].get(baseline)
+            row.append("-" if value is None else f"{value:.2f}x")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_fraction_breakdown(
+    breakdown: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+) -> str:
+    """Render a ``{benchmark: {phase: fraction}}`` mapping as percentages."""
+    benchmarks = list(breakdown.keys())
+    phases: list[str] = []
+    for values in breakdown.values():
+        for key in values:
+            if key not in phases:
+                phases.append(key)
+    headers = ["benchmark"] + phases
+    rows = []
+    for benchmark in benchmarks:
+        row: list[object] = [benchmark]
+        for phase in phases:
+            value = breakdown[benchmark].get(phase, 0.0)
+            row.append(f"{100 * value:.1f}%")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def summarize_range(values: Dict[str, float]) -> str:
+    """Render a ``label -> value`` mapping as "min ... max" with labels."""
+    if not values:
+        return "(empty)"
+    low_label = min(values, key=values.get)
+    high_label = max(values, key=values.get)
+    return (
+        f"{values[low_label]:.2f}x ({low_label}) ... "
+        f"{values[high_label]:.2f}x ({high_label})"
+    )

@@ -1,0 +1,148 @@
+"""Command-line interface for the HgPCN reproduction.
+
+Three subcommands cover the common workflows::
+
+    python -m repro.cli figures [--exhibit fig14]   # reproduce tables/figures
+    python -m repro.cli e2e [--dataset kitti] ...   # run the pipeline on one frame
+    python -m repro.cli samplers [--points 20000]   # compare down-sampling methods
+
+The CLI only composes public library APIs; everything it prints can also be
+produced programmatically (see the examples/ directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.analysis.figures import all_reports
+from repro.analysis.quality import compare_samplers, quality_table_rows
+from repro.analysis.reporting import format_table
+from repro.core.config import HgPCNConfig, InferenceEngineConfig, PreprocessingConfig
+from repro.core.pipeline import HgPCNSystem
+from repro.datasets import (
+    KittiLikeDataset,
+    ModelNetLikeDataset,
+    S3DISLikeDataset,
+    ShapeNetLikeDataset,
+    get_benchmark,
+)
+from repro.datasets.synthetic import sample_cad_shape
+from repro.sampling import (
+    FarthestPointSampler,
+    OctreeIndexedSampler,
+    RandomSampler,
+    VoxelGridSampler,
+)
+
+_DATASETS = {
+    "modelnet40": (ModelNetLikeDataset, "classification"),
+    "shapenet": (ShapeNetLikeDataset, "part_segmentation"),
+    "s3dis": (S3DISLikeDataset, "semantic_segmentation"),
+    "kitti": (KittiLikeDataset, "semantic_segmentation"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="HgPCN reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="reproduce the paper's tables and figures")
+    figures.add_argument(
+        "--exhibit",
+        default="",
+        help="substring filter, e.g. 'fig14' or 'table' (default: all)",
+    )
+
+    e2e = sub.add_parser("e2e", help="run the end-to-end pipeline on one frame")
+    e2e.add_argument("--dataset", choices=sorted(_DATASETS), default="kitti")
+    e2e.add_argument("--scale", type=float, default=0.005,
+                     help="fraction of the paper-scale raw frame to generate")
+    e2e.add_argument("--samples", type=int, default=1024,
+                     help="down-sampled input size (default 1024)")
+    e2e.add_argument("--neighbors", type=int, default=32)
+    e2e.add_argument("--seed", type=int, default=0)
+
+    samplers = sub.add_parser("samplers", help="compare down-sampling methods")
+    samplers.add_argument("--points", type=int, default=20_000)
+    samplers.add_argument("--samples", type=int, default=1024)
+    samplers.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_figures(exhibit: str) -> int:
+    from repro.analysis.figures import match_reports
+
+    matched = match_reports(exhibit)
+    if not matched:
+        print(f"no exhibit matches {exhibit!r}")
+        return 1
+    for report in matched:
+        print(report.formatted())
+        print()
+    return 0
+
+
+def _run_e2e(dataset: str, scale: float, samples: int, neighbors: int, seed: int) -> int:
+    dataset_cls, task = _DATASETS[dataset]
+    frame = dataset_cls(num_frames=1, seed=seed, scale=scale).generate_frame(0)
+    config = HgPCNConfig(
+        preprocessing=PreprocessingConfig(num_samples=samples, seed=seed),
+        inference=InferenceEngineConfig(
+            num_centroids=max(8, samples // 4),
+            neighbors_per_centroid=neighbors,
+            seed=seed,
+        ),
+    )
+    system = HgPCNSystem(config=config, task=task)
+    result = system.process_frame(frame)
+
+    spec = get_benchmark(dataset)
+    print(f"benchmark: {spec.name} ({spec.application}, model {spec.model})")
+    print(f"frame {result.frame_id}: {frame.num_points} raw points -> "
+          f"{result.preprocessing.sampled.num_points} sampled points")
+    print(f"on-chip footprint: {result.preprocessing.onchip_megabits:.2f} Mb")
+    rows = [[phase, seconds * 1e3] for phase, seconds in result.breakdown.as_dict().items()]
+    rows.append(["total", result.total_seconds() * 1e3])
+    print(format_table(["phase", "modelled latency [ms]"], rows))
+    return 0
+
+
+def _run_samplers(points: int, samples: int, seed: int) -> int:
+    cloud = sample_cad_shape(points, shape="box", non_uniformity=0.3, seed=seed)
+    qualities = compare_samplers(
+        cloud,
+        {
+            "fps": FarthestPointSampler(seed=seed),
+            "random": RandomSampler(seed=seed),
+            "voxelgrid": VoxelGridSampler(seed=seed),
+            "ois": OctreeIndexedSampler(seed=seed),
+            "ois-approx": OctreeIndexedSampler(seed=seed, approximate=True),
+        },
+        num_samples=min(samples, points),
+    )
+    print(
+        format_table(
+            ["sampler", "coverage radius", "chamfer distance", "occupancy recall"],
+            quality_table_rows(qualities),
+            title=f"Sampling quality on a {points}-point frame ({samples} samples)",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        return _run_figures(args.exhibit)
+    if args.command == "e2e":
+        return _run_e2e(args.dataset, args.scale, args.samples, args.neighbors, args.seed)
+    if args.command == "samplers":
+        return _run_samplers(args.points, args.samples, args.seed)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

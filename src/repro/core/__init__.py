@@ -1,0 +1,35 @@
+"""Core abstractions: configuration, operation counters, and the engines.
+
+The two engines mirror Figure 1(b) / Figure 4 of the paper:
+
+* :class:`~repro.core.engine.PreprocessingEngine` = Octree-build Unit (CPU)
+  + Down-sampling Unit (FPGA) running the OIS method.
+* :class:`~repro.core.engine.InferenceEngine` = Data Structuring Unit +
+  Feature Computation Unit (both on the FPGA).
+* :class:`~repro.core.pipeline.HgPCNSystem` wires them together into the
+  end-to-end service evaluated in Section VII-E.
+"""
+
+from repro.core.config import (
+    HgPCNConfig,
+    InferenceEngineConfig,
+    PreprocessingConfig,
+    SystemConfig,
+)
+from repro.core.engine import InferenceEngine, PreprocessingEngine
+from repro.core.metrics import LatencyBreakdown, OpCounters, PhaseLatency
+from repro.core.pipeline import EndToEndResult, HgPCNSystem
+
+__all__ = [
+    "EndToEndResult",
+    "HgPCNConfig",
+    "HgPCNSystem",
+    "InferenceEngine",
+    "InferenceEngineConfig",
+    "LatencyBreakdown",
+    "OpCounters",
+    "PhaseLatency",
+    "PreprocessingConfig",
+    "PreprocessingEngine",
+    "SystemConfig",
+]

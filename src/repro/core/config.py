@@ -1,0 +1,147 @@
+"""Configuration dataclasses for the HgPCN system and its engines.
+
+All tunables that Section VII varies (octree depth, sampled-point count K,
+neighbor count k, systolic-array geometry, voxel-level parallelism) live
+here so experiments are described declaratively and the benchmark harness can
+sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PreprocessingConfig:
+    """Configuration of the Pre-processing Engine (Section V).
+
+    Attributes
+    ----------
+    num_samples:
+        K, the fixed number of points the frame is down-sampled to (the input
+        size column of Table I, e.g. 1024 or 4096).
+    octree_depth:
+        Depth of the octree built by the Octree-build Unit.  ``None`` lets
+        the engine pick a depth from the frame size via
+        :func:`repro.geometry.voxelgrid.suggest_depth`.
+    num_sampling_modules:
+        Degree of voxel-level parallelism in the Down-sampling Unit
+        (Figure 7b deploys eight Sampling Modules, one per child octant).
+    approximate:
+        Enable the "approximate OIS-based FPS" future-work variant
+        (Section VIII-A): near the leaf level a random point of the farthest
+        node substitutes for the exact farthest point.
+    seed:
+        Seed-point / tie-breaking RNG seed for reproducible sampling.
+    """
+
+    num_samples: int = 4096
+    octree_depth: Optional[int] = None
+    num_sampling_modules: int = 8
+    approximate: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if self.num_sampling_modules <= 0:
+            raise ValueError("num_sampling_modules must be positive")
+        if self.octree_depth is not None and self.octree_depth < 1:
+            raise ValueError("octree_depth must be >= 1 when given")
+
+
+@dataclass(frozen=True)
+class InferenceEngineConfig:
+    """Configuration of the Inference Engine (Section VI).
+
+    Attributes
+    ----------
+    num_centroids:
+        Number of central points picked for the first set-abstraction layer.
+    neighbors_per_centroid:
+        k, the gathering size of the data structuring step (paper example:
+        32).
+    systolic_rows / systolic_cols:
+        Geometry of the Feature Computation Unit's systolic array.  The
+        paper's comparisons use 16x16 for all accelerators.
+    gather_method:
+        ``"knn"`` or ``"ballquery"`` -- which neighbor definition the data
+        structuring step implements.
+    ball_radius:
+        Radius used when ``gather_method == "ballquery"``.
+    semi_approximate:
+        Enable the "semi-approximate VEG" future-work variant
+        (Section VIII-A): the last expansion shell is sampled randomly
+        instead of sorted.
+    random_centroids:
+        Pick central points randomly (the paper does this for the Figure 14
+        comparison to match Mesorasi); otherwise FPS-style centroids.
+    """
+
+    num_centroids: int = 512
+    neighbors_per_centroid: int = 32
+    systolic_rows: int = 16
+    systolic_cols: int = 16
+    gather_method: str = "knn"
+    ball_radius: float = 0.2
+    semi_approximate: bool = False
+    random_centroids: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_centroids <= 0:
+            raise ValueError("num_centroids must be positive")
+        if self.neighbors_per_centroid <= 0:
+            raise ValueError("neighbors_per_centroid must be positive")
+        if self.systolic_rows <= 0 or self.systolic_cols <= 0:
+            raise ValueError("systolic array dimensions must be positive")
+        if self.gather_method not in ("knn", "ballquery"):
+            raise ValueError("gather_method must be 'knn' or 'ballquery'")
+        if self.ball_radius <= 0:
+            raise ValueError("ball_radius must be positive")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Platform-level parameters shared by both engines."""
+
+    #: Name of the host CPU device profile (see ``hardware.devices``).
+    cpu_profile: str = "xeon_w2255"
+    #: Name of the FPGA device profile.
+    fpga_profile: str = "arria10_gx"
+    #: Bytes per stored scalar (single precision in the prototype).
+    bytes_per_scalar: int = 4
+    #: On-chip memory budget of the FPGA in megabits (Arria 10 GX 1150: 65).
+    onchip_memory_megabits: float = 65.0
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_scalar <= 0:
+            raise ValueError("bytes_per_scalar must be positive")
+        if self.onchip_memory_megabits <= 0:
+            raise ValueError("onchip_memory_megabits must be positive")
+
+
+@dataclass(frozen=True)
+class HgPCNConfig:
+    """Full configuration of one HgPCN instance."""
+
+    preprocessing: PreprocessingConfig = field(default_factory=PreprocessingConfig)
+    inference: InferenceEngineConfig = field(default_factory=InferenceEngineConfig)
+    system: SystemConfig = field(default_factory=SystemConfig)
+
+    @classmethod
+    def for_task(cls, input_size: int, neighbors: int = 32) -> "HgPCNConfig":
+        """Convenience constructor matching a Table I row.
+
+        ``input_size`` is the down-sampled input size (1024 / 2048 / 4096 /
+        16384); centroids follow PointNet++'s convention of one quarter of
+        the input size for the first set-abstraction layer.
+        """
+        return cls(
+            preprocessing=PreprocessingConfig(num_samples=input_size),
+            inference=InferenceEngineConfig(
+                num_centroids=max(1, input_size // 4),
+                neighbors_per_centroid=neighbors,
+            ),
+        )

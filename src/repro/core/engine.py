@@ -1,0 +1,191 @@
+"""The two HgPCN engines (Figure 4).
+
+:class:`PreprocessingEngine` executes the pre-processing phase of one frame:
+octree construction and host-memory reorganisation on the CPU (Octree-build
+Unit), Octree-Table transfer over MMIO, and OIS down-sampling in the FPGA
+Down-sampling Unit.  It produces the down-sampled input cloud *and* the
+latency/memory estimates of the phase.
+
+:class:`InferenceEngine` executes the inference phase: VEG-based data
+structuring in the DSU and PointNet++ feature computation in the FCU.  The
+functional forward pass produces real logits; the latency model replays its
+measured gather statistics on the hardware cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import HgPCNConfig
+from repro.core.metrics import LatencyBreakdown, OpCounters
+from repro.accelerators.hgpcn import HgPCNInferenceAccelerator
+from repro.accelerators.base import InferenceReport, InferenceWorkloadSpec
+from repro.datastructuring.veg import VoxelExpandedGatherer
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.voxelgrid import VoxelGrid, suggest_depth
+from repro.hardware.interconnect import InterconnectModel
+from repro.hardware.memory import OnChipMemoryModel, ois_onchip_megabits
+from repro.hardware.octree_build_unit import OctreeBuildUnit
+from repro.hardware.sampling_module import DownSamplingUnit
+from repro.network.pointnet2 import ForwardResult, build_model_for_task
+from repro.network.workload import extract_workload
+from repro.octree.builder import Octree
+from repro.octree.linear import OctreeTable
+from repro.sampling.ois import OctreeIndexedSampler
+from repro.sampling.base import SamplingResult
+
+
+@dataclass
+class PreprocessingResult:
+    """Output of the Pre-processing Engine for one frame."""
+
+    sampled: PointCloud
+    sampling: SamplingResult
+    octree: Octree
+    octree_table: OctreeTable
+    breakdown: LatencyBreakdown
+    onchip_megabits: float
+
+    def total_seconds(self) -> float:
+        return self.breakdown.total_seconds()
+
+
+@dataclass
+class PreprocessingEngine:
+    """Octree-build Unit (CPU) + Down-sampling Unit (FPGA) running OIS."""
+
+    config: HgPCNConfig = field(default_factory=HgPCNConfig)
+    octree_build_unit: OctreeBuildUnit = field(default_factory=OctreeBuildUnit)
+    downsampling_unit: DownSamplingUnit = field(default_factory=DownSamplingUnit)
+    interconnect: InterconnectModel = field(default_factory=InterconnectModel)
+
+    def process(self, cloud: PointCloud) -> PreprocessingResult:
+        """Pre-process one raw frame: octree build + OIS down-sampling."""
+        pre = self.config.preprocessing
+        depth = pre.octree_depth or suggest_depth(cloud.num_points)
+        num_samples = min(pre.num_samples, cloud.num_points)
+
+        octree = Octree.build(cloud, depth=depth)
+        table = OctreeTable.from_octree(octree)
+
+        sampler = OctreeIndexedSampler(
+            octree_depth=depth,
+            num_sampling_modules=pre.num_sampling_modules,
+            approximate=pre.approximate,
+            seed=pre.seed,
+        )
+        sampling = sampler.sample(cloud, num_samples, octree=octree)
+
+        breakdown = LatencyBreakdown()
+        breakdown.add("octree_build", self.octree_build_unit.seconds_for(octree.stats))
+        breakdown.add(
+            "table_transfer",
+            self.interconnect.octree_table_transfer_seconds(table.total_bits()),
+        )
+        breakdown.add(
+            "downsampling",
+            self.downsampling_unit.seconds_per_frame(depth, num_samples),
+        )
+
+        onchip = ois_onchip_megabits(
+            num_table_entries=len(table),
+            entry_bits=table.entry_bits(),
+            num_samples=num_samples,
+        )
+        budget = OnChipMemoryModel(
+            capacity_megabits=self.config.system.onchip_memory_megabits
+        )
+        budget.allocate("octree_table_and_spt", onchip)
+
+        return PreprocessingResult(
+            sampled=sampling.sampled,
+            sampling=sampling,
+            octree=octree,
+            octree_table=table,
+            breakdown=breakdown,
+            onchip_megabits=onchip,
+        )
+
+
+@dataclass
+class InferenceExecution:
+    """Output of the Inference Engine for one down-sampled input."""
+
+    forward: ForwardResult
+    report: InferenceReport
+    breakdown: LatencyBreakdown
+    gather_run_stats: Dict[str, object] = field(default_factory=dict)
+
+    def total_seconds(self) -> float:
+        return self.report.total_seconds()
+
+    def predicted_labels(self) -> np.ndarray:
+        return self.forward.predicted_class()
+
+
+@dataclass
+class InferenceEngine:
+    """Data Structuring Unit (VEG) + Feature Computation Unit (DLA)."""
+
+    config: HgPCNConfig = field(default_factory=HgPCNConfig)
+    accelerator: HgPCNInferenceAccelerator = field(
+        default_factory=HgPCNInferenceAccelerator
+    )
+    task: str = "classification"
+    num_classes: Optional[int] = None
+
+    def process(self, sampled: PointCloud) -> InferenceExecution:
+        """Run the PCN on one down-sampled input cloud."""
+        inf = self.config.inference
+        # The gathering grid is built over the down-sampled input; this is
+        # the octree leaf level the DSU walks (the raw-frame octree built by
+        # the Pre-processing Engine indexes the same space, so reusing it is
+        # an amortisation the paper points out -- the grid here is tiny).
+        depth = suggest_depth(sampled.num_points)
+        grid = VoxelGrid.build(sampled, depth)
+        gatherer = VoxelExpandedGatherer(
+            depth=depth,
+            semi_approximate=inf.semi_approximate,
+            seed=inf.seed,
+        )
+        model = build_model_for_task(
+            self.task,
+            input_size=sampled.num_points,
+            gatherer=gatherer,
+            input_feature_channels=sampled.num_feature_channels,
+            neighbors=min(inf.neighbors_per_centroid, max(1, sampled.num_points // 2)),
+            seed=inf.seed,
+        )
+        forward = model.forward(sampled)
+        workload = extract_workload(forward)
+
+        # Collect the measured VEG statistics per SA layer for the DSU model.
+        run_stats: Dict[str, object] = {}
+        for trace in forward.sa_traces:
+            if trace.gather is not None and "run_stats" in trace.gather.info:
+                run_stats[trace.name] = trace.gather.info["run_stats"]
+
+        spec = InferenceWorkloadSpec(
+            dataset="custom",
+            task=self.task,
+            input_size=sampled.num_points,
+            neighbors=inf.neighbors_per_centroid,
+            input_feature_channels=sampled.num_feature_channels,
+        )
+        report = self.accelerator.inference_report(
+            spec, measured_run_stats=run_stats or None
+        )
+        return InferenceExecution(
+            forward=forward,
+            report=report,
+            breakdown=report.breakdown,
+            gather_run_stats=run_stats,
+        )
+
+    def workload_counters(self, execution: InferenceExecution) -> OpCounters:
+        """Aggregate data structuring counters of one execution."""
+        workload = extract_workload(execution.forward)
+        return workload.data_structuring

@@ -1,0 +1,55 @@
+"""Synthetic point cloud datasets mirroring the paper's benchmarks.
+
+The paper evaluates on ModelNet40, ShapeNet, S3DIS, and KITTI (Table I).
+Those datasets are not redistributable inside this reproduction, so this
+subpackage synthesises point cloud frames with the statistics that actually
+matter to the evaluated methods: raw frame size, spatial distribution and
+non-uniformity (which set the octree depth), the down-sampled input size,
+and -- for KITTI -- per-frame timestamps that define the sensor generation
+rate used by the real-time analysis of Section VII-E.  See DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.datasets.base import DatasetSpec, Frame, PointCloudDataset, TABLE1_BENCHMARKS, get_benchmark
+from repro.datasets.io import (
+    load_frame_npz,
+    load_frame_ply,
+    load_frame_xyz,
+    save_frame_npz,
+    save_frame_ply,
+    save_frame_xyz,
+)
+from repro.datasets.kitti import KittiLikeDataset
+from repro.datasets.lidar import LidarSensorModel
+from repro.datasets.modelnet import ModelNetLikeDataset
+from repro.datasets.s3dis import S3DISLikeDataset
+from repro.datasets.shapenet import ShapeNetLikeDataset
+from repro.datasets.synthetic import (
+    gaussian_clusters,
+    lidar_scene,
+    sample_cad_shape,
+    uniform_cube,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "Frame",
+    "KittiLikeDataset",
+    "LidarSensorModel",
+    "ModelNetLikeDataset",
+    "PointCloudDataset",
+    "S3DISLikeDataset",
+    "ShapeNetLikeDataset",
+    "TABLE1_BENCHMARKS",
+    "gaussian_clusters",
+    "get_benchmark",
+    "lidar_scene",
+    "load_frame_npz",
+    "load_frame_ply",
+    "load_frame_xyz",
+    "sample_cad_shape",
+    "save_frame_npz",
+    "save_frame_ply",
+    "save_frame_xyz",
+    "uniform_cube",
+]

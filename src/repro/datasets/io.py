@@ -1,0 +1,175 @@
+"""Point cloud frame I/O.
+
+A downstream user of the library needs to get their own sensor data in and
+reproduce results out, so the dataset layer supports three on-disk forms:
+
+* **NPZ** -- compressed numpy archive with ``points``, optional ``features``
+  and ``labels``, plus frame metadata; the library's native format.
+* **ASCII PLY** -- the lowest common denominator for point cloud tooling
+  (CloudCompare, MeshLab, Open3D); coordinates plus optional per-point
+  scalar properties.
+* **XYZ text** -- whitespace-separated rows, as produced by many LiDAR
+  exporters.
+
+All readers return :class:`~repro.datasets.base.Frame` objects so loaded
+data drops straight into the end-to-end pipeline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import Frame
+from repro.geometry.pointcloud import PointCloud
+
+
+# ----------------------------------------------------------------------
+# NPZ
+# ----------------------------------------------------------------------
+def save_frame_npz(frame: Frame, path: str | Path) -> Path:
+    """Save a frame to a compressed ``.npz`` archive."""
+    path = Path(path)
+    payload = {
+        "points": frame.cloud.points,
+        "frame_id": np.asarray(frame.frame_id),
+        "timestamp": np.asarray(
+            frame.timestamp if frame.timestamp is not None else np.nan
+        ),
+    }
+    if frame.cloud.features is not None:
+        payload["features"] = frame.cloud.features
+    if frame.labels is not None:
+        payload["labels"] = frame.labels
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_frame_npz(path: str | Path) -> Frame:
+    """Load a frame previously written by :func:`save_frame_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        points = archive["points"]
+        features = archive["features"] if "features" in archive else None
+        labels = archive["labels"] if "labels" in archive else None
+        frame_id = str(archive["frame_id"])
+        timestamp = float(archive["timestamp"])
+    cloud = PointCloud(
+        points=points,
+        features=features,
+        frame_id=frame_id,
+        timestamp=None if np.isnan(timestamp) else timestamp,
+    )
+    return Frame(
+        cloud=cloud,
+        frame_id=frame_id,
+        timestamp=None if np.isnan(timestamp) else timestamp,
+        labels=labels,
+    )
+
+
+# ----------------------------------------------------------------------
+# PLY (ASCII)
+# ----------------------------------------------------------------------
+def save_frame_ply(frame: Frame, path: str | Path) -> Path:
+    """Write an ASCII PLY file with xyz plus any feature channels."""
+    path = Path(path)
+    cloud = frame.cloud
+    feature_names = [
+        f"feature_{i}" for i in range(cloud.num_feature_channels)
+    ]
+    header = [
+        "ply",
+        "format ascii 1.0",
+        f"comment frame_id {frame.frame_id}",
+        f"element vertex {cloud.num_points}",
+        "property float x",
+        "property float y",
+        "property float z",
+    ]
+    header.extend(f"property float {name}" for name in feature_names)
+    header.append("end_header")
+
+    columns = [cloud.points]
+    if cloud.features is not None:
+        columns.append(cloud.features)
+    data = np.hstack(columns)
+    with path.open("w", encoding="ascii") as handle:
+        handle.write("\n".join(header) + "\n")
+        for row in data:
+            handle.write(" ".join(f"{value:.6f}" for value in row) + "\n")
+    return path
+
+
+def load_frame_ply(path: str | Path) -> Frame:
+    """Read an ASCII PLY written by :func:`save_frame_ply` (or compatible)."""
+    path = Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        lines = [line.strip() for line in handle]
+    if not lines or lines[0] != "ply":
+        raise ValueError(f"{path} is not a PLY file")
+
+    num_vertices = 0
+    properties: list[str] = []
+    frame_id = path.stem
+    header_end = 0
+    for index, line in enumerate(lines):
+        if line.startswith("comment frame_id"):
+            frame_id = line.split(maxsplit=2)[2]
+        elif line.startswith("element vertex"):
+            num_vertices = int(line.split()[-1])
+        elif line.startswith("property"):
+            properties.append(line.split()[-1])
+        elif line == "end_header":
+            header_end = index + 1
+            break
+    else:
+        raise ValueError(f"{path}: missing end_header")
+    if properties[:3] != ["x", "y", "z"]:
+        raise ValueError(f"{path}: expected x, y, z as the first properties")
+
+    rows = [
+        [float(token) for token in line.split()]
+        for line in lines[header_end : header_end + num_vertices]
+        if line
+    ]
+    data = np.asarray(rows, dtype=np.float64)
+    if data.shape[0] != num_vertices:
+        raise ValueError(
+            f"{path}: header promises {num_vertices} vertices, found {data.shape[0]}"
+        )
+    points = data[:, :3]
+    features = data[:, 3:] if data.shape[1] > 3 else None
+    cloud = PointCloud(points=points, features=features, frame_id=frame_id)
+    return Frame(cloud=cloud, frame_id=frame_id)
+
+
+# ----------------------------------------------------------------------
+# XYZ text
+# ----------------------------------------------------------------------
+def save_frame_xyz(frame: Frame, path: str | Path) -> Path:
+    """Write whitespace-separated ``x y z [features...]`` rows."""
+    path = Path(path)
+    columns = [frame.cloud.points]
+    if frame.cloud.features is not None:
+        columns.append(frame.cloud.features)
+    np.savetxt(path, np.hstack(columns), fmt="%.6f")
+    return path
+
+
+def load_frame_xyz(
+    path: str | Path, frame_id: Optional[str] = None
+) -> Frame:
+    """Read ``x y z [features...]`` rows into a frame."""
+    path = Path(path)
+    data = np.loadtxt(path, dtype=np.float64, ndmin=2)
+    if data.shape[1] < 3:
+        raise ValueError(f"{path}: need at least three columns (x y z)")
+    cloud = PointCloud(
+        points=data[:, :3],
+        features=data[:, 3:] if data.shape[1] > 3 else None,
+        frame_id=frame_id or path.stem,
+    )
+    return Frame(cloud=cloud, frame_id=cloud.frame_id)

@@ -1,0 +1,39 @@
+"""S3DIS-like synthetic dataset (indoor semantic segmentation, Table I row 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Frame, PointCloudDataset, get_benchmark
+from repro.datasets.synthetic import indoor_room
+
+
+class S3DISLikeDataset(PointCloudDataset):
+    """Indoor room scans of ~10^5 points composed of planar structures."""
+
+    def __init__(self, num_frames: int = 8, seed: int = 0, scale: float = 1.0):
+        super().__init__(num_frames=num_frames, seed=seed, scale=scale)
+        self.spec = get_benchmark("s3dis")
+
+    def generate_frame(self, index: int) -> Frame:
+        if not 0 <= index < self.num_frames:
+            raise IndexError("frame index out of range")
+        rng = np.random.default_rng(self.seed + index)
+        raw_size = self._scaled_points(self._frame_raw_size(rng))
+        room_size = (
+            float(rng.uniform(5.0, 12.0)),
+            float(rng.uniform(4.0, 10.0)),
+            float(rng.uniform(2.6, 3.4)),
+        )
+        cloud = indoor_room(
+            num_points=raw_size,
+            room_size=room_size,
+            num_furniture=int(rng.integers(4, 10)),
+            seed=self.seed + index,
+        )
+        cloud.frame_id = f"S3DIS.room{index}"
+        # Semantic labels: coarse height bands (floor / mid / ceiling) as a
+        # geometric surrogate for the 13 S3DIS classes.
+        z = cloud.points[:, 2]
+        labels = np.digitize(z, bins=[0.1, room_size[2] - 0.1])
+        return Frame(cloud=cloud, frame_id=cloud.frame_id, labels=labels)

@@ -1,0 +1,82 @@
+"""Ball-query gathering.
+
+PointNet++'s set-abstraction layers use ball query (all points within a
+radius, capped at k, padding with the nearest point when fewer exist) rather
+than pure KNN.  The workload profile is the same as brute-force KNN -- every
+centroid scans the whole input cloud -- so it shares the counter model; only
+the membership rule differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datastructuring.base import Gatherer, GatherResult
+from repro.datastructuring.knn import knn_counter_model
+from repro.geometry.pointcloud import PointCloud
+
+
+class BallQueryGatherer(Gatherer):
+    """Gather up to k points within ``radius`` of each centroid."""
+
+    name = "ballquery"
+
+    def __init__(self, radius: float = 0.2):
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self._radius = radius
+
+    @property
+    def radius(self) -> float:
+        return self._radius
+
+    def gather(
+        self,
+        cloud: PointCloud,
+        centroid_indices: np.ndarray,
+        neighbors: int,
+    ) -> GatherResult:
+        self._validate(cloud, centroid_indices, neighbors)
+        centroid_indices = np.asarray(centroid_indices, dtype=np.intp)
+        points = cloud.points
+        radius_sq = self._radius**2
+
+        rows = np.empty((centroid_indices.shape[0], neighbors), dtype=np.intp)
+        truncated = 0
+        padded = 0
+        chunk = 256
+        for start in range(0, centroid_indices.shape[0], chunk):
+            block_idx = centroid_indices[start : start + chunk]
+            block = points[block_idx]
+            diff = block[:, None, :] - points[None, :, :]
+            dist = (diff**2).sum(axis=-1)
+            order = np.argsort(dist, axis=1)
+            sorted_dist = np.take_along_axis(dist, order, axis=1)
+            for r in range(block.shape[0]):
+                inside = order[r][sorted_dist[r] <= radius_sq]
+                if inside.shape[0] >= neighbors:
+                    if inside.shape[0] > neighbors:
+                        truncated += 1
+                    rows[start + r] = inside[:neighbors]
+                else:
+                    # PointNet++ convention: pad with the nearest point so the
+                    # group always has exactly k entries.
+                    padded += 1
+                    fill = np.full(neighbors, order[r][0], dtype=np.intp)
+                    fill[: inside.shape[0]] = inside
+                    rows[start + r] = fill
+
+        counters = knn_counter_model(
+            cloud.num_points, centroid_indices.shape[0], neighbors
+        )
+        return GatherResult(
+            neighbor_indices=rows,
+            centroid_indices=centroid_indices,
+            counters=counters,
+            method=self.name,
+            info={
+                "radius": self._radius,
+                "groups_truncated": truncated,
+                "groups_padded": padded,
+            },
+        )

@@ -1,0 +1,319 @@
+"""Voxel-Expanded Gathering (VEG) -- the paper's data structuring method.
+
+For each central point (Section VI, Figure 8):
+
+1. **FP** fetch the central point and its m-code;
+2. **LV** locate the voxel containing it;
+3. **VE** expand voxel shells outward (touching voxels first, then the next
+   ring, ...) until the expanded voxels contain at least K points;
+4. **GP** gather all points of the *inner* shells directly -- they are taken
+   as neighbors without any distance computation;
+5. **ST** sort only the points of the last expansion shell by distance to the
+   central point and keep however many are still needed;
+6. **BF** emit the K gathered points to the feature-computation input buffer.
+
+The sorting workload therefore shrinks from "the whole input cloud" (what
+brute-force KNN / PointACC's Mapping Unit sorts) to the last shell only,
+which is the reduction plotted in Figure 15.
+
+The semi-approximate variant of Section VIII-A replaces step 5 with a random
+pick from the last shell, removing the remaining distance computations at a
+small accuracy cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.metrics import OpCounters
+from repro.datastructuring.base import Gatherer, GatherResult
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.voxelgrid import VoxelGrid, suggest_depth
+
+
+@dataclass
+class VEGStageStats:
+    """Per-centroid statistics of one VEG gathering (Figure 15/16 inputs).
+
+    Attributes
+    ----------
+    expansions:
+        Number of voxel expansions n performed (0 means the seed voxel alone
+        already held K points).
+    inner_points:
+        Points gathered for free from shells 0..n-1 (``N0 + ... + N(n-1)``).
+    last_shell_points:
+        Points in the final shell Vn that had to be distance-sorted (``Nn``).
+    sorted_candidates:
+        Number of candidates that actually entered the sorter (equals
+        ``last_shell_points`` for the exact method, 0 for semi-approximate).
+    voxels_visited:
+        Number of voxel lookups performed during the expansion.
+    """
+
+    expansions: int = 0
+    inner_points: int = 0
+    last_shell_points: int = 0
+    sorted_candidates: int = 0
+    voxels_visited: int = 0
+
+
+@dataclass
+class VEGRunStats:
+    """Aggregate VEG statistics over all centroids of one run."""
+
+    per_centroid: List[VEGStageStats] = field(default_factory=list)
+
+    def total_sorted_candidates(self) -> int:
+        return sum(s.sorted_candidates for s in self.per_centroid)
+
+    def total_inner_points(self) -> int:
+        return sum(s.inner_points for s in self.per_centroid)
+
+    def mean_expansions(self) -> float:
+        if not self.per_centroid:
+            return 0.0
+        return float(np.mean([s.expansions for s in self.per_centroid]))
+
+    def mean_sorted_candidates(self) -> float:
+        if not self.per_centroid:
+            return 0.0
+        return float(np.mean([s.sorted_candidates for s in self.per_centroid]))
+
+
+class VoxelExpandedGatherer(Gatherer):
+    """VEG gathering over a uniform voxel grid (the octree leaf level).
+
+    Parameters
+    ----------
+    depth:
+        Octree/grid depth; ``None`` chooses one from the input size so leaf
+        voxels hold a handful of points.
+    semi_approximate:
+        Enable the semi-approximate variant (random picks from the last
+        shell instead of distance sorting).
+    ball_radius:
+        When given, gather in ball-query mode: the expansion stops once the
+        shells cover the ball of this radius, candidates outside the radius
+        are dropped, and groups short of K are padded with the nearest point
+        (the PointNet++ ball-query convention).  The paper notes VEG
+        "can efficiently support commonly used DS methods, e.g. KNN and BQ";
+        this is the BQ path.
+    seed:
+        RNG seed for the semi-approximate variant.
+    """
+
+    name = "veg"
+
+    def __init__(
+        self,
+        depth: Optional[int] = None,
+        semi_approximate: bool = False,
+        ball_radius: Optional[float] = None,
+        seed: int = 0,
+    ):
+        if ball_radius is not None and ball_radius <= 0:
+            raise ValueError("ball_radius must be positive when given")
+        self._depth = depth
+        self._semi_approximate = semi_approximate
+        self._ball_radius = ball_radius
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    def gather(
+        self,
+        cloud: PointCloud,
+        centroid_indices: np.ndarray,
+        neighbors: int,
+        grid: Optional[VoxelGrid] = None,
+    ) -> GatherResult:
+        """Gather neighbors; optionally reuse a pre-built ``grid``.
+
+        Reusing the grid models HgPCN's amortisation of the octree built by
+        the Pre-processing Engine.
+        """
+        self._validate(cloud, centroid_indices, neighbors)
+        centroid_indices = np.asarray(centroid_indices, dtype=np.intp)
+        rng = np.random.default_rng(self._seed)
+
+        depth = self._depth or suggest_depth(cloud.num_points)
+        if grid is None:
+            grid = VoxelGrid.build(cloud, depth)
+        else:
+            depth = grid.depth
+
+        counters = OpCounters()
+        run_stats = VEGRunStats()
+        points = cloud.points
+        max_radius = grid.resolution  # expansion cannot exceed the grid size
+
+        rows = np.empty((centroid_indices.shape[0], neighbors), dtype=np.intp)
+        for row, centroid_index in enumerate(centroid_indices):
+            stats = VEGStageStats()
+            target = points[centroid_index]
+            # Stage FP + LV: fetch the central point and locate its voxel.
+            counters.onchip_reads += 1
+            center_code = grid.voxel_of_point(int(centroid_index))
+            counters.node_visits += 1
+
+            if self._ball_radius is not None:
+                rows[row] = self._gather_ball(
+                    grid, points, target, center_code, int(centroid_index),
+                    neighbors, counters, stats,
+                )
+                run_stats.per_centroid.append(stats)
+                continue
+
+            # Stage VE: expand shells until >= K points are covered.
+            gathered: List[np.ndarray] = []
+            gathered_count = 0
+            shells: List[np.ndarray] = []
+            radius = 0
+            while gathered_count < neighbors and radius <= max_radius:
+                shell_codes = grid.shell_codes(center_code, radius)
+                stats.voxels_visited += max(1, len(shell_codes))
+                counters.node_visits += max(1, len(shell_codes))
+                if shell_codes:
+                    shell_points = np.concatenate(
+                        [grid.points_in_voxel(code) for code in shell_codes]
+                    )
+                else:
+                    shell_points = np.zeros(0, dtype=np.intp)
+                shells.append(shell_points)
+                gathered_count += shell_points.shape[0]
+                radius += 1
+            stats.expansions = max(0, len(shells) - 1)
+
+            # Stage GP: inner shells are taken wholesale.
+            inner = (
+                np.concatenate(shells[:-1]) if len(shells) > 1
+                else np.zeros(0, dtype=np.intp)
+            )
+            last_shell = shells[-1] if shells else np.zeros(0, dtype=np.intp)
+            stats.inner_points = int(inner.shape[0])
+            stats.last_shell_points = int(last_shell.shape[0])
+            counters.host_memory_reads += int(inner.shape[0])
+
+            still_needed = neighbors - inner.shape[0]
+            if still_needed <= 0:
+                # The inner shells alone overshot (can only happen when the
+                # seed voxel itself holds >= K points); keep the nearest K
+                # of the seed-voxel points, which requires sorting them.
+                candidates = inner
+                dist = ((points[candidates] - target) ** 2).sum(axis=1)
+                counters.distance_computations += candidates.shape[0]
+                counters.compare_ops += candidates.shape[0]
+                stats.sorted_candidates = int(candidates.shape[0])
+                order = np.argsort(dist)[:neighbors]
+                selection = candidates[order]
+            else:
+                # Stage ST: sort only the last shell.
+                if self._semi_approximate:
+                    stats.sorted_candidates = 0
+                    if last_shell.shape[0] <= still_needed:
+                        tail = last_shell
+                    else:
+                        tail = rng.choice(
+                            last_shell, size=still_needed, replace=False
+                        )
+                    counters.host_memory_reads += int(tail.shape[0])
+                else:
+                    dist = ((points[last_shell] - target) ** 2).sum(axis=1)
+                    counters.distance_computations += last_shell.shape[0]
+                    counters.compare_ops += last_shell.shape[0]
+                    counters.host_memory_reads += int(last_shell.shape[0])
+                    stats.sorted_candidates = int(last_shell.shape[0])
+                    order = np.argsort(dist)[:still_needed]
+                    tail = last_shell[order]
+                selection = np.concatenate([inner, tail])
+                if selection.shape[0] < neighbors:
+                    # Grid exhausted before K points were found (tiny clouds
+                    # or boundary centroids in the semi-approximate mode):
+                    # pad with the nearest gathered point, mirroring the
+                    # ball-query padding convention.
+                    pad = np.full(
+                        neighbors - selection.shape[0],
+                        selection[0] if selection.shape[0] else centroid_index,
+                        dtype=np.intp,
+                    )
+                    selection = np.concatenate([selection, pad])
+
+            # Stage BF: write the K gathered points to the input buffer.
+            counters.onchip_writes += neighbors
+            rows[row] = selection[:neighbors]
+            run_stats.per_centroid.append(stats)
+
+        return GatherResult(
+            neighbor_indices=rows,
+            centroid_indices=centroid_indices,
+            counters=counters,
+            method=self.name,
+            info={
+                "depth": depth,
+                "semi_approximate": self._semi_approximate,
+                "ball_radius": self._ball_radius,
+                "run_stats": run_stats,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _gather_ball(
+        self,
+        grid: VoxelGrid,
+        points: np.ndarray,
+        target: np.ndarray,
+        center_code: int,
+        centroid_index: int,
+        neighbors: int,
+        counters: OpCounters,
+        stats: VEGStageStats,
+    ) -> np.ndarray:
+        """Ball-query gathering: expand only as far as the ball reaches.
+
+        The number of shells needed is fixed by the ball radius and the voxel
+        edge length, so the expansion never depends on the input cloud size;
+        every candidate inside the covered shells is distance-checked against
+        the radius and at most K of the in-ball points are kept.
+        """
+        radius = float(self._ball_radius)
+        cell = float(grid.cell_size().min())
+        shell_limit = min(grid.resolution, int(np.ceil(radius / max(cell, 1e-12))) + 1)
+
+        candidates: List[np.ndarray] = []
+        for shell in range(shell_limit + 1):
+            shell_codes = grid.shell_codes(center_code, shell)
+            stats.voxels_visited += max(1, len(shell_codes))
+            counters.node_visits += max(1, len(shell_codes))
+            if shell_codes:
+                candidates.append(
+                    np.concatenate([grid.points_in_voxel(c) for c in shell_codes])
+                )
+        stats.expansions = shell_limit
+        pool = (
+            np.concatenate(candidates) if candidates else np.zeros(0, dtype=np.intp)
+        )
+
+        dist = ((points[pool] - target) ** 2).sum(axis=1)
+        counters.distance_computations += pool.shape[0]
+        counters.compare_ops += pool.shape[0]
+        counters.host_memory_reads += int(pool.shape[0])
+        stats.last_shell_points = int(pool.shape[0])
+        stats.sorted_candidates = int(pool.shape[0])
+
+        inside = pool[dist <= radius**2]
+        inside_dist = dist[dist <= radius**2]
+        order = np.argsort(inside_dist)
+        inside = inside[order]
+        if inside.shape[0] >= neighbors:
+            selection = inside[:neighbors]
+        else:
+            # PointNet++ convention: pad with the nearest in-ball point (or
+            # the centroid itself when the ball is empty).
+            fill_value = inside[0] if inside.shape[0] else centroid_index
+            pad = np.full(neighbors - inside.shape[0], fill_value, dtype=np.intp)
+            selection = np.concatenate([inside, pad])
+        counters.onchip_writes += neighbors
+        return selection

@@ -1,0 +1,44 @@
+"""Geometric primitives for point cloud processing.
+
+This subpackage provides the basic data types that every other part of the
+HgPCN reproduction builds on:
+
+* :class:`~repro.geometry.pointcloud.PointCloud` -- the ``(p_k, f_k)`` set of
+  points with optional per-point features described in Section II-A of the
+  paper.
+* :class:`~repro.geometry.bbox.AxisAlignedBox` -- axis-aligned bounding boxes
+  used as the root voxel of octrees and for normalisation.
+* :mod:`~repro.geometry.morton` -- Morton code (m-code) encoding, decoding and
+  Hamming distance, the spatial index used by both the OIS and VEG methods.
+* :mod:`~repro.geometry.sfc` -- space-filling-curve orderings of points and
+  voxels.
+* :class:`~repro.geometry.voxelgrid.VoxelGrid` -- a uniform voxelisation of a
+  point cloud at a fixed octree depth.
+"""
+
+from repro.geometry.bbox import AxisAlignedBox
+from repro.geometry.morton import (
+    MortonCode,
+    hamming_distance,
+    morton_decode,
+    morton_encode,
+    morton_encode_points,
+    voxel_center,
+)
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.sfc import sfc_argsort, sfc_order_key
+from repro.geometry.voxelgrid import VoxelGrid
+
+__all__ = [
+    "AxisAlignedBox",
+    "MortonCode",
+    "PointCloud",
+    "VoxelGrid",
+    "hamming_distance",
+    "morton_decode",
+    "morton_encode",
+    "morton_encode_points",
+    "sfc_argsort",
+    "sfc_order_key",
+    "voxel_center",
+]

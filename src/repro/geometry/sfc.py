@@ -1,0 +1,47 @@
+"""Space-filling-curve (SFC) ordering of points.
+
+The Octree-based host-memory reorganisation (Section V-A) lays the raw
+points out in the 1-D order obtained by traversing the octree leaves from the
+left-most to the right-most leaf, with intra-leaf points also following the
+SFC order.  Because the m-code of a point *is* its position along that
+Morton-order curve, the reorganised sequence is simply the points sorted by
+m-code; these helpers expose that operation explicitly so the intent reads at
+call sites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.bbox import AxisAlignedBox
+from repro.geometry.morton import morton_encode_points
+
+
+def sfc_order_key(
+    points: np.ndarray, box: AxisAlignedBox, depth: int
+) -> np.ndarray:
+    """Return the SFC sort key (m-code) of each point at ``depth``."""
+    return morton_encode_points(points, box, depth)
+
+
+def sfc_argsort(
+    points: np.ndarray, box: AxisAlignedBox, depth: int
+) -> np.ndarray:
+    """Indices that reorder ``points`` into SFC (Morton) order.
+
+    A stable sort is used so points sharing a leaf voxel keep their original
+    relative order, matching a single-pass streaming reorganisation.
+    """
+    keys = sfc_order_key(points, box, depth)
+    return np.argsort(keys, kind="stable")
+
+
+def sfc_sorted(points: np.ndarray, box: AxisAlignedBox, depth: int) -> np.ndarray:
+    """``points`` reordered into SFC order (convenience wrapper)."""
+    return np.asarray(points)[sfc_argsort(points, box, depth)]
+
+
+def is_sfc_ordered(points: np.ndarray, box: AxisAlignedBox, depth: int) -> bool:
+    """True when ``points`` already follow non-decreasing m-code order."""
+    keys = sfc_order_key(points, box, depth)
+    return bool(np.all(keys[:-1] <= keys[1:]))

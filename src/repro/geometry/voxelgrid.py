@@ -1,0 +1,161 @@
+"""Uniform voxel grid over a point cloud.
+
+A :class:`VoxelGrid` is the flat (single depth) view of an octree's leaf
+level: every point is assigned to the voxel given by its m-code at a fixed
+depth.  The VEG method's voxel expansion (Section VI) and the voxel-grid
+down-sampling baseline both operate on this structure, so it is factored out
+of the octree proper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.geometry.bbox import AxisAlignedBox
+from repro.geometry.morton import morton_encode_points, voxel_indices
+from repro.geometry.pointcloud import PointCloud
+
+
+@dataclass
+class VoxelGrid:
+    """Points bucketed into the uniform grid of ``2**depth`` cells per axis."""
+
+    cloud: PointCloud
+    depth: int
+    box: AxisAlignedBox
+    codes: np.ndarray = field(repr=False)
+    _buckets: Dict[int, np.ndarray] = field(repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        cloud: PointCloud,
+        depth: int,
+        box: AxisAlignedBox | None = None,
+    ) -> "VoxelGrid":
+        """Voxelise ``cloud`` at ``depth`` inside ``box`` (default: cube hull)."""
+        if box is None:
+            box = cloud.bounds().as_cube()
+        codes = morton_encode_points(cloud.points, box, depth)
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        buckets: Dict[int, np.ndarray] = {}
+        if len(sorted_codes):
+            unique_codes, starts = np.unique(sorted_codes, return_index=True)
+            ends = np.append(starts[1:], len(sorted_codes))
+            for code, start, end in zip(unique_codes, starts, ends):
+                buckets[int(code)] = order[start:end]
+        return cls(cloud=cloud, depth=depth, box=box, codes=codes, _buckets=buckets)
+
+    # ------------------------------------------------------------------
+    @property
+    def resolution(self) -> int:
+        """Number of cells per axis."""
+        return 1 << self.depth
+
+    @property
+    def num_occupied_voxels(self) -> int:
+        return len(self._buckets)
+
+    def occupied_codes(self) -> np.ndarray:
+        """Sorted m-codes of the non-empty voxels."""
+        return np.array(sorted(self._buckets.keys()), dtype=np.int64)
+
+    def points_in_voxel(self, code: int) -> np.ndarray:
+        """Indices (into the cloud) of the points inside voxel ``code``."""
+        return self._buckets.get(int(code), np.zeros(0, dtype=np.intp))
+
+    def voxel_of_point(self, index: int) -> int:
+        """M-code of the voxel containing point ``index``."""
+        return int(self.codes[index])
+
+    def occupancy_histogram(self) -> Dict[int, int]:
+        """Map ``code -> number of points`` for the occupied voxels."""
+        return {code: len(idx) for code, idx in self._buckets.items()}
+
+    # ------------------------------------------------------------------
+    # Neighbourhood queries used by VEG
+    # ------------------------------------------------------------------
+    def grid_coordinates(self, code: int) -> Tuple[int, int, int]:
+        """Integer (ix, iy, iz) of a voxel code."""
+        from repro.geometry.morton import morton_decode
+
+        return morton_decode(code, self.depth)
+
+    def shell_codes(self, center_code: int, radius: int) -> List[int]:
+        """Occupied voxel codes on the Chebyshev shell at ``radius``.
+
+        ``radius = 0`` is the centre voxel itself; ``radius = 1`` the 26
+        touching voxels (the grey voxels of Figure 8), and so on.  Only
+        occupied voxels are returned because empty voxels contribute no
+        points to the gathering step.
+        """
+        if radius < 0:
+            raise ValueError("radius must be >= 0")
+        cx, cy, cz = self.grid_coordinates(center_code)
+        if radius == 0:
+            return [center_code] if center_code in self._buckets else []
+        from repro.geometry.morton import morton_encode
+
+        resolution = self.resolution
+        found: List[int] = []
+        for dx in range(-radius, radius + 1):
+            for dy in range(-radius, radius + 1):
+                for dz in range(-radius, radius + 1):
+                    if max(abs(dx), abs(dy), abs(dz)) != radius:
+                        continue
+                    ix, iy, iz = cx + dx, cy + dy, cz + dz
+                    if not (
+                        0 <= ix < resolution
+                        and 0 <= iy < resolution
+                        and 0 <= iz < resolution
+                    ):
+                        continue
+                    code = morton_encode(ix, iy, iz, self.depth)
+                    if code in self._buckets:
+                        found.append(code)
+        return found
+
+    def points_in_shells(
+        self, center_code: int, max_radius: int
+    ) -> Iterable[Tuple[int, np.ndarray]]:
+        """Yield ``(radius, point_indices)`` for shells 0..max_radius."""
+        for radius in range(max_radius + 1):
+            indices = [
+                self.points_in_voxel(code)
+                for code in self.shell_codes(center_code, radius)
+            ]
+            if indices:
+                yield radius, np.concatenate(indices)
+            else:
+                yield radius, np.zeros(0, dtype=np.intp)
+
+    def cell_size(self) -> np.ndarray:
+        """Edge lengths of one voxel."""
+        return self.box.size / self.resolution
+
+
+def suggest_depth(num_points: int, target_points_per_voxel: float = 4.0) -> int:
+    """Pick an octree depth so occupied leaves hold a few points each.
+
+    The paper notes (Section VII-B) that octree depth depends on the size and
+    non-uniformity of the cloud.  This heuristic chooses the smallest depth
+    whose total number of cells is at least ``num_points /
+    target_points_per_voxel`` assuming a roughly surface-like (2-D) occupancy
+    of the 3-D grid, which matches LiDAR and CAD-model clouds.
+    """
+    if num_points <= 0:
+        raise ValueError("num_points must be positive")
+    depth = 1
+    while depth < 12:
+        occupied_estimate = (1 << depth) ** 2  # surface-like occupancy
+        if occupied_estimate * target_points_per_voxel >= num_points:
+            return depth
+        depth += 1
+    return depth
+
+
+__all__ = ["VoxelGrid", "suggest_depth", "voxel_indices"]

@@ -1,0 +1,61 @@
+"""CPU-side Octree-build Unit cost model.
+
+The octree construction and the host-memory reorganisation run on the CPU
+(Section V-A) and are charged to the host: one streaming read of the raw
+frame, one streaming write of the reorganised copy, plus per-node
+bookkeeping.  The cost model prices an :class:`~repro.octree.builder.
+OctreeBuildStats` record on a CPU device profile, which is what the
+octree-build-overhead analysis of Figure 11 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import OpCounters
+from repro.hardware.devices import DeviceProfile, get_device
+from repro.octree.builder import OctreeBuildStats
+
+
+@dataclass(frozen=True)
+class OctreeBuildUnit:
+    """Prices the single-pass octree build + memory pre-configuration."""
+
+    cpu: DeviceProfile | str = "xeon_w2255"
+    #: CPU work per point beyond the memory traffic: m-code computation
+    #: (3 * depth shift/or steps) and the sort/bucket insertion, expressed as
+    #: equivalent "node visit" operations per point.
+    code_ops_per_point: float = 2.0
+
+    def _profile(self) -> DeviceProfile:
+        return get_device(self.cpu) if isinstance(self.cpu, str) else self.cpu
+
+    def counters_for(self, stats: OctreeBuildStats) -> OpCounters:
+        counters = OpCounters()
+        counters.host_memory_reads = stats.host_memory_reads
+        counters.host_memory_writes = stats.host_memory_writes
+        # m-code computation and bucket insertion are streaming, branch-light
+        # scalar work: charge one comparison-equivalent op per code bit plus
+        # a couple per point, bounded by the CPU's scalar throughput.  Node
+        # bookkeeping is negligible next to the per-point traffic.
+        counters.compare_ops = int(
+            stats.num_points * (stats.depth + self.code_ops_per_point)
+        )
+        return counters
+
+    def seconds_for(self, stats: OctreeBuildStats) -> float:
+        """Latency of building the octree for one frame on the CPU."""
+        profile = self._profile()
+        return profile.estimate_latency(self.counters_for(stats), overlap=True)
+
+    def seconds_for_frame(self, num_points: int, depth: int) -> float:
+        """Analytic path when only the frame size and depth are known."""
+        stats = OctreeBuildStats(
+            num_points=num_points,
+            depth=depth,
+            num_nodes=max(1, int(num_points * 0.4)),
+            num_leaves=max(1, int(num_points * 0.3)),
+            host_memory_reads=num_points,
+            host_memory_writes=num_points + max(1, int(num_points * 0.4)),
+        )
+        return self.seconds_for(stats)

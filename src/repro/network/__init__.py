@@ -1,0 +1,42 @@
+"""Point Cloud Network (PCN) models -- a from-scratch numpy PointNet++.
+
+The backend of the paper's end-to-end service is PointNet++ (Table I uses
+three variants: classification, part segmentation, and semantic
+segmentation).  This subpackage implements the network from scratch on top of
+numpy:
+
+* :mod:`~repro.network.layers` -- shared MLPs (1x1 convolutions), batch
+  normalisation, ReLU, and max pooling, each reporting its MAC workload.
+* :mod:`~repro.network.pointnet2` -- set-abstraction layers, the global
+  feature head for classification, and feature-propagation layers for
+  segmentation, assembled into the three Table I model variants.
+* :mod:`~repro.network.workload` -- extraction of the per-layer MVM workload
+  that the Feature Computation Unit (systolic-array DLA) executes.
+
+Weights are deterministic (seeded); the paper's latency results depend only
+on the layer structure, not the learned values, so no training loop is
+required (see DESIGN.md for the substitution rationale).
+"""
+
+from repro.network.layers import BatchNorm, Dense, ReLU, SharedMLP
+from repro.network.pointnet2 import (
+    PointNet2Classification,
+    PointNet2Segmentation,
+    SetAbstraction,
+    build_model_for_task,
+)
+from repro.network.workload import LayerWorkload, NetworkWorkload, extract_workload
+
+__all__ = [
+    "BatchNorm",
+    "Dense",
+    "LayerWorkload",
+    "NetworkWorkload",
+    "PointNet2Classification",
+    "PointNet2Segmentation",
+    "ReLU",
+    "SetAbstraction",
+    "SharedMLP",
+    "build_model_for_task",
+    "extract_workload",
+]

@@ -1,0 +1,404 @@
+"""PointNet++ (SSG) models built from scratch.
+
+The three Table I model variants are assembled here:
+
+* ``Pointnet++(c)``  -- shape classification (ModelNet40-style).
+* ``Pointnet++(ps)`` -- object part segmentation (ShapeNet-style).
+* ``Pointnet++(s)``  -- scene semantic segmentation (S3DIS / KITTI-style).
+
+Each set-abstraction (SA) layer performs the two steps Figure 2 separates:
+**data structuring** (pick central points, gather their neighborhoods via a
+pluggable :class:`~repro.datastructuring.base.Gatherer`) and **feature
+computation** (a shared MLP over the gathered groups followed by max
+pooling).  The forward pass returns real logits *and* an execution trace
+(gather results + per-layer MVM workload) that the accelerator models replay
+on their hardware cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.datastructuring.base import Gatherer, GatherResult, pick_random_centroids
+from repro.datastructuring.knn import BruteForceKNN
+from repro.geometry.pointcloud import PointCloud
+from repro.network.layers import Dense, ReLU, SharedMLP, max_pool_groups, softmax
+
+
+@dataclass
+class LayerTrace:
+    """Record of one feature-computation layer execution."""
+
+    name: str
+    num_vectors: int
+    mac_ops: int
+    output_channels: int
+
+
+@dataclass
+class SetAbstractionTrace:
+    """Record of one SA layer execution (data structuring + computation)."""
+
+    name: str
+    gather: Optional[GatherResult]
+    layers: List[LayerTrace] = field(default_factory=list)
+
+
+@dataclass
+class ForwardResult:
+    """Output of a model forward pass."""
+
+    logits: np.ndarray
+    sa_traces: List[SetAbstractionTrace] = field(default_factory=list)
+    head_traces: List[LayerTrace] = field(default_factory=list)
+
+    def probabilities(self) -> np.ndarray:
+        return softmax(self.logits)
+
+    def predicted_class(self) -> np.ndarray:
+        return np.argmax(self.logits, axis=-1)
+
+    def total_mac_ops(self) -> int:
+        total = sum(t.mac_ops for t in self.head_traces)
+        for sa in self.sa_traces:
+            total += sum(t.mac_ops for t in sa.layers)
+        return total
+
+
+class SetAbstraction:
+    """One PointNet++ set-abstraction (SSG) layer.
+
+    Parameters
+    ----------
+    num_centroids:
+        Number of central points kept by this layer (``None`` groups all
+        points into a single global group, as the final SA layer does).
+    neighbors:
+        Gathering size K of the data structuring step.
+    mlp_channels:
+        Channel widths of the shared MLP, starting with the input width
+        (coordinates contribute 3 extra channels).
+    gatherer:
+        Data structuring method; brute-force KNN by default so the layer is
+        self-contained, HgPCN substitutes VEG.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_centroids: Optional[int],
+        neighbors: int,
+        mlp_channels: Sequence[int],
+        gatherer: Optional[Gatherer] = None,
+        seed: int = 0,
+    ):
+        self.name = name
+        self.num_centroids = num_centroids
+        self.neighbors = neighbors
+        self.mlp = SharedMLP(list(mlp_channels), name=f"{name}.mlp")
+        self.gatherer = gatherer or BruteForceKNN()
+        self.seed = seed
+
+    def __call__(
+        self,
+        cloud: PointCloud,
+        features: Optional[np.ndarray],
+    ) -> tuple[PointCloud, np.ndarray, SetAbstractionTrace]:
+        trace = SetAbstractionTrace(name=self.name, gather=None)
+
+        if self.num_centroids is None:
+            # Global grouping: every point forms one group.
+            grouped_xyz = cloud.points[None, :, :]
+            grouped_features = (
+                features[None, :, :] if features is not None else None
+            )
+            new_cloud = PointCloud(points=cloud.centroid()[None, :])
+        else:
+            centroid_indices = pick_random_centroids(
+                cloud, min(self.num_centroids, cloud.num_points), seed=self.seed
+            )
+            gather = self.gatherer.gather(
+                cloud, centroid_indices, min(self.neighbors, cloud.num_points)
+            )
+            trace.gather = gather
+            grouped_xyz = gather.grouped_coordinates(cloud)
+            grouped_features = gather.grouped_features(
+                cloud.with_features(features) if features is not None else cloud
+            )
+            new_cloud = cloud.select(centroid_indices)
+
+        # Translate each group into its centroid's local frame, as PointNet++
+        # does, then concatenate coordinates and features channel-wise.
+        centers = new_cloud.points[:, None, :]
+        local_xyz = grouped_xyz - centers
+        if grouped_features is not None:
+            group_input = np.concatenate([local_xyz, grouped_features], axis=-1)
+        else:
+            group_input = local_xyz
+
+        num_groups, group_size, _ = group_input.shape
+        flat = group_input.reshape(num_groups * group_size, -1)
+        if flat.shape[-1] != self.mlp.in_features:
+            raise ValueError(
+                f"{self.name}: MLP expects {self.mlp.in_features} input "
+                f"channels, got {flat.shape[-1]}"
+            )
+        transformed = self.mlp(flat).reshape(num_groups, group_size, -1)
+        new_features = max_pool_groups(transformed)
+
+        trace.layers.append(
+            LayerTrace(
+                name=f"{self.name}.mlp",
+                num_vectors=num_groups * group_size,
+                mac_ops=self.mlp.mac_count(num_groups * group_size),
+                output_channels=self.mlp.out_features,
+            )
+        )
+        return new_cloud, new_features, trace
+
+
+class FeaturePropagation:
+    """PointNet++ feature propagation (upsampling) layer for segmentation.
+
+    Features of a coarse point set are interpolated back onto a denser set
+    using inverse-distance weighting over the three nearest coarse points,
+    then refined by a shared MLP (the standard PointNet++ FP layer).
+    """
+
+    def __init__(self, name: str, mlp_channels: Sequence[int]):
+        self.name = name
+        self.mlp = SharedMLP(list(mlp_channels), name=f"{name}.mlp")
+
+    def __call__(
+        self,
+        dense_cloud: PointCloud,
+        dense_features: Optional[np.ndarray],
+        coarse_cloud: PointCloud,
+        coarse_features: np.ndarray,
+    ) -> tuple[np.ndarray, LayerTrace]:
+        if coarse_cloud.num_points == 1:
+            interpolated = np.repeat(coarse_features, dense_cloud.num_points, axis=0)
+        else:
+            diff = (
+                dense_cloud.points[:, None, :] - coarse_cloud.points[None, :, :]
+            )
+            dist = np.sqrt((diff**2).sum(axis=-1)) + 1e-10
+            k = min(3, coarse_cloud.num_points)
+            nearest = np.argpartition(dist, kth=k - 1, axis=1)[:, :k]
+            near_dist = np.take_along_axis(dist, nearest, axis=1)
+            weights = 1.0 / near_dist
+            weights = weights / weights.sum(axis=1, keepdims=True)
+            interpolated = (coarse_features[nearest] * weights[..., None]).sum(axis=1)
+
+        if dense_features is not None:
+            combined = np.concatenate([dense_features, interpolated], axis=-1)
+        else:
+            combined = interpolated
+        if combined.shape[-1] != self.mlp.in_features:
+            raise ValueError(
+                f"{self.name}: MLP expects {self.mlp.in_features} input "
+                f"channels, got {combined.shape[-1]}"
+            )
+        refined = self.mlp(combined)
+        trace = LayerTrace(
+            name=f"{self.name}.mlp",
+            num_vectors=combined.shape[0],
+            mac_ops=self.mlp.mac_count(combined.shape[0]),
+            output_channels=self.mlp.out_features,
+        )
+        return refined, trace
+
+
+class PointNet2Classification:
+    """PointNet++ (SSG) shape classification -- ``Pointnet++(c)`` of Table I."""
+
+    def __init__(
+        self,
+        num_classes: int = 40,
+        input_feature_channels: int = 0,
+        input_size: int = 1024,
+        neighbors: int = 32,
+        gatherer: Optional[Gatherer] = None,
+        seed: int = 0,
+    ):
+        self.num_classes = num_classes
+        self.input_feature_channels = input_feature_channels
+        self.input_size = input_size
+        sa1_centroids = max(1, input_size // 2)
+        sa2_centroids = max(1, input_size // 8)
+        self.sa1 = SetAbstraction(
+            "sa1",
+            sa1_centroids,
+            neighbors,
+            [3 + input_feature_channels, 64, 64, 128],
+            gatherer=gatherer,
+            seed=seed,
+        )
+        self.sa2 = SetAbstraction(
+            "sa2",
+            sa2_centroids,
+            min(64, neighbors * 2),
+            [3 + 128, 128, 128, 256],
+            gatherer=gatherer,
+            seed=seed + 1,
+        )
+        self.sa3 = SetAbstraction(
+            "sa3", None, 1, [3 + 256, 256, 512, 1024], gatherer=gatherer, seed=seed + 2
+        )
+        self.fc1 = Dense(1024, 512, name="cls.fc1")
+        self.fc2 = Dense(512, 256, name="cls.fc2")
+        self.fc3 = Dense(256, num_classes, name="cls.fc3")
+        self._relu = ReLU()
+
+    def forward(self, cloud: PointCloud) -> ForwardResult:
+        features = cloud.features
+        sa_traces: List[SetAbstractionTrace] = []
+
+        cloud1, feat1, trace1 = self.sa1(cloud, features)
+        sa_traces.append(trace1)
+        cloud2, feat2, trace2 = self.sa2(cloud1, feat1)
+        sa_traces.append(trace2)
+        _cloud3, feat3, trace3 = self.sa3(cloud2, feat2)
+        sa_traces.append(trace3)
+
+        head_traces: List[LayerTrace] = []
+        x = feat3
+        for fc in (self.fc1, self.fc2):
+            x = self._relu(fc(x))
+            head_traces.append(
+                LayerTrace(
+                    name=fc.name,
+                    num_vectors=x.shape[0],
+                    mac_ops=fc.mac_count(x.shape[0]),
+                    output_channels=fc.out_features,
+                )
+            )
+        logits = self.fc3(x)
+        head_traces.append(
+            LayerTrace(
+                name=self.fc3.name,
+                num_vectors=x.shape[0],
+                mac_ops=self.fc3.mac_count(x.shape[0]),
+                output_channels=self.fc3.out_features,
+            )
+        )
+        return ForwardResult(
+            logits=logits, sa_traces=sa_traces, head_traces=head_traces
+        )
+
+
+class PointNet2Segmentation:
+    """PointNet++ (SSG) segmentation -- ``Pointnet++(ps)``/``(s)`` of Table I."""
+
+    def __init__(
+        self,
+        num_classes: int = 13,
+        input_feature_channels: int = 0,
+        input_size: int = 4096,
+        neighbors: int = 32,
+        gatherer: Optional[Gatherer] = None,
+        seed: int = 0,
+    ):
+        self.num_classes = num_classes
+        self.input_feature_channels = input_feature_channels
+        self.input_size = input_size
+        sa1_centroids = max(1, input_size // 4)
+        sa2_centroids = max(1, input_size // 16)
+        self.sa1 = SetAbstraction(
+            "sa1",
+            sa1_centroids,
+            neighbors,
+            [3 + input_feature_channels, 64, 64, 128],
+            gatherer=gatherer,
+            seed=seed,
+        )
+        self.sa2 = SetAbstraction(
+            "sa2",
+            sa2_centroids,
+            min(64, neighbors * 2),
+            [3 + 128, 128, 128, 256],
+            gatherer=gatherer,
+            seed=seed + 1,
+        )
+        self.fp1 = FeaturePropagation("fp1", [256 + 128, 256, 128])
+        self.fp0 = FeaturePropagation(
+            "fp0", [128 + input_feature_channels, 128, 128]
+        )
+        self.head = Dense(128, num_classes, name="seg.head")
+
+    def forward(self, cloud: PointCloud) -> ForwardResult:
+        features = cloud.features
+        sa_traces: List[SetAbstractionTrace] = []
+        head_traces: List[LayerTrace] = []
+
+        cloud1, feat1, trace1 = self.sa1(cloud, features)
+        sa_traces.append(trace1)
+        cloud2, feat2, trace2 = self.sa2(cloud1, feat1)
+        sa_traces.append(trace2)
+
+        up1, fp_trace1 = self.fp1(cloud1, feat1, cloud2, feat2)
+        head_traces.append(fp_trace1)
+        up0, fp_trace0 = self.fp0(cloud, features, cloud1, up1)
+        head_traces.append(fp_trace0)
+
+        logits = self.head(up0)
+        head_traces.append(
+            LayerTrace(
+                name=self.head.name,
+                num_vectors=up0.shape[0],
+                mac_ops=self.head.mac_count(up0.shape[0]),
+                output_channels=self.head.out_features,
+            )
+        )
+        return ForwardResult(
+            logits=logits, sa_traces=sa_traces, head_traces=head_traces
+        )
+
+
+def build_model_for_task(
+    task: str,
+    input_size: int,
+    gatherer: Optional[Gatherer] = None,
+    input_feature_channels: int = 0,
+    neighbors: int = 32,
+    seed: int = 0,
+):
+    """Factory matching the Table I task names.
+
+    ``task`` is one of ``"classification"``, ``"part_segmentation"``,
+    ``"semantic_segmentation"``.
+    """
+    if task == "classification":
+        return PointNet2Classification(
+            num_classes=40,
+            input_size=input_size,
+            input_feature_channels=input_feature_channels,
+            neighbors=neighbors,
+            gatherer=gatherer,
+            seed=seed,
+        )
+    if task == "part_segmentation":
+        return PointNet2Segmentation(
+            num_classes=50,
+            input_size=input_size,
+            input_feature_channels=input_feature_channels,
+            neighbors=neighbors,
+            gatherer=gatherer,
+            seed=seed,
+        )
+    if task == "semantic_segmentation":
+        return PointNet2Segmentation(
+            num_classes=13,
+            input_size=input_size,
+            input_feature_channels=input_feature_channels,
+            neighbors=neighbors,
+            gatherer=gatherer,
+            seed=seed,
+        )
+    raise ValueError(
+        "task must be 'classification', 'part_segmentation' or "
+        f"'semantic_segmentation'; got {task!r}"
+    )

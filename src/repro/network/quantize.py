@@ -1,0 +1,94 @@
+"""Post-training int8 quantization for the Feature Computation Unit.
+
+Commercial DLAs (the NPU the paper cites as a candidate FCU) execute the
+shared-MLP MVMs in low precision.  This module provides symmetric per-tensor
+int8 quantization of :class:`~repro.network.layers.Dense` /
+:class:`~repro.network.layers.SharedMLP` weights and a quantized forward path
+so the accuracy impact can be measured functionally, plus the byte-width hook
+the FCU model uses to credit the reduced activation traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.network.layers import Dense, SharedMLP
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An int8 tensor with its symmetric scale factor."""
+
+    values: np.ndarray
+    scale: float
+
+    def dequantized(self) -> np.ndarray:
+        return self.values.astype(np.float64) * self.scale
+
+
+def quantize_symmetric(tensor: np.ndarray, num_bits: int = 8) -> QuantizedTensor:
+    """Symmetric per-tensor quantization to ``num_bits`` signed integers."""
+    if num_bits < 2 or num_bits > 16:
+        raise ValueError("num_bits must be in [2, 16]")
+    tensor = np.asarray(tensor, dtype=np.float64)
+    max_abs = float(np.abs(tensor).max()) if tensor.size else 0.0
+    qmax = 2 ** (num_bits - 1) - 1
+    scale = max_abs / qmax if max_abs > 0 else 1.0
+    values = np.clip(np.round(tensor / scale), -qmax - 1, qmax).astype(np.int32)
+    return QuantizedTensor(values=values, scale=scale)
+
+
+@dataclass
+class QuantizedDense:
+    """A Dense layer executing with int8 weights and activations."""
+
+    reference: Dense
+    num_bits: int = 8
+
+    def __post_init__(self) -> None:
+        self._weight = quantize_symmetric(self.reference.weight, self.num_bits)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        activations = quantize_symmetric(x, self.num_bits)
+        accumulator = activations.values @ self._weight.values
+        return accumulator * (activations.scale * self._weight.scale) + self.reference.bias
+
+    def quantization_error(self) -> float:
+        """Mean absolute weight error introduced by quantization."""
+        return float(np.abs(self._weight.dequantized() - self.reference.weight).mean())
+
+
+@dataclass
+class QuantizedSharedMLP:
+    """A SharedMLP whose Dense layers run in int8."""
+
+    reference: SharedMLP
+    num_bits: int = 8
+
+    def __post_init__(self) -> None:
+        self.layers: List[QuantizedDense] = [
+            QuantizedDense(layer, self.num_bits) for layer in self.reference.layers
+        ]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            out = layer(out)
+            if self.reference.norms[i] is not None:
+                out = self.reference.norms[i](out)
+            if i < last or self.reference.final_activation:
+                out = np.maximum(out, 0.0)
+        return out
+
+    def max_output_deviation(self, x: np.ndarray) -> float:
+        """Largest absolute difference vs the float reference on ``x``."""
+        return float(np.abs(self(x) - self.reference(x)).max())
+
+
+def quantized_activation_bytes(num_bits: int = 8) -> int:
+    """Bytes per activation for the FCU's streaming-bandwidth term."""
+    return max(1, (num_bits + 7) // 8)

@@ -1,0 +1,171 @@
+"""Workload extraction: what the Feature Computation Unit has to execute.
+
+The accelerator models do not re-run numpy matrix multiplies to estimate
+latency; they consume a :class:`NetworkWorkload` -- the list of MVM layer
+shapes and the data structuring statistics of one forward pass -- and map it
+onto their hardware cost models (systolic array, bitonic sorter, memory).
+This module turns a :class:`~repro.network.pointnet2.ForwardResult` into that
+workload description, and can also synthesise a workload analytically for
+paper-scale input sizes without running the forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.metrics import OpCounters
+from repro.network.pointnet2 import ForwardResult
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """The MVM workload of one layer: ``num_vectors`` x (in -> out)."""
+
+    name: str
+    num_vectors: int
+    mac_ops: int
+    output_channels: int
+
+
+@dataclass
+class NetworkWorkload:
+    """Workload of one full PCN inference."""
+
+    layers: List[LayerWorkload] = field(default_factory=list)
+    data_structuring: OpCounters = field(default_factory=OpCounters)
+    #: Number of (centroid, neighbor-set) gathers performed.
+    num_gather_groups: int = 0
+    #: Candidates that entered a distance sorter during data structuring.
+    sort_candidates: int = 0
+
+    def total_mac_ops(self) -> int:
+        return sum(layer.mac_ops for layer in self.layers)
+
+    def total_output_activations(self) -> int:
+        return sum(layer.num_vectors * layer.output_channels for layer in self.layers)
+
+
+def extract_workload(result: ForwardResult) -> NetworkWorkload:
+    """Build the workload description of an executed forward pass."""
+    workload = NetworkWorkload()
+    for sa in result.sa_traces:
+        if sa.gather is not None:
+            workload.data_structuring.add(sa.gather.counters)
+            workload.num_gather_groups += sa.gather.num_centroids
+            run_stats = sa.gather.info.get("run_stats")
+            if run_stats is not None:
+                workload.sort_candidates += run_stats.total_sorted_candidates()
+            else:
+                # Brute-force style gatherers sort the whole cloud per
+                # centroid; their compare_ops count is exactly that workload.
+                workload.sort_candidates += sa.gather.counters.compare_ops
+        for layer in sa.layers:
+            workload.layers.append(
+                LayerWorkload(
+                    name=layer.name,
+                    num_vectors=layer.num_vectors,
+                    mac_ops=layer.mac_ops,
+                    output_channels=layer.output_channels,
+                )
+            )
+    for layer in result.head_traces:
+        workload.layers.append(
+            LayerWorkload(
+                name=layer.name,
+                num_vectors=layer.num_vectors,
+                mac_ops=layer.mac_ops,
+                output_channels=layer.output_channels,
+            )
+        )
+    return workload
+
+
+def synthetic_pointnet2_workload(
+    input_size: int,
+    task: str = "semantic_segmentation",
+    neighbors: int = 32,
+    input_feature_channels: int = 0,
+) -> NetworkWorkload:
+    """Analytic PointNet++ workload for an ``input_size``-point input.
+
+    Benchmarks use this to evaluate paper-scale input sizes (e.g. KITTI's
+    16384 points) without paying for a full numpy forward pass; the layer
+    shapes match :mod:`repro.network.pointnet2` exactly.
+    """
+    workload = NetworkWorkload()
+
+    def add_mlp(name: str, num_vectors: int, channels: List[int]) -> None:
+        for i in range(len(channels) - 1):
+            macs = num_vectors * channels[i] * channels[i + 1]
+            workload.layers.append(
+                LayerWorkload(
+                    name=f"{name}.dense{i}",
+                    num_vectors=num_vectors,
+                    mac_ops=macs,
+                    output_channels=channels[i + 1],
+                )
+            )
+
+    if task == "classification":
+        sa1_centroids = max(1, input_size // 2)
+        sa2_centroids = max(1, input_size // 8)
+        add_mlp(
+            "sa1.mlp",
+            sa1_centroids * neighbors,
+            [3 + input_feature_channels, 64, 64, 128],
+        )
+        add_mlp("sa2.mlp", sa2_centroids * min(64, neighbors * 2), [3 + 128, 128, 128, 256])
+        add_mlp("sa3.mlp", sa2_centroids, [3 + 256, 256, 512, 1024])
+        add_mlp("cls.head", 1, [1024, 512, 256, 40])
+        workload.num_gather_groups = sa1_centroids + sa2_centroids
+    else:
+        num_classes = 50 if task == "part_segmentation" else 13
+        sa1_centroids = max(1, input_size // 4)
+        sa2_centroids = max(1, input_size // 16)
+        add_mlp(
+            "sa1.mlp",
+            sa1_centroids * neighbors,
+            [3 + input_feature_channels, 64, 64, 128],
+        )
+        add_mlp("sa2.mlp", sa2_centroids * min(64, neighbors * 2), [3 + 128, 128, 128, 256])
+        add_mlp("fp1.mlp", sa1_centroids, [256 + 128, 256, 128])
+        add_mlp("fp0.mlp", input_size, [128 + input_feature_channels, 128, 128])
+        add_mlp("seg.head", input_size, [128, num_classes])
+        workload.num_gather_groups = sa1_centroids + sa2_centroids
+    return workload
+
+
+def synthetic_data_structuring_counters(
+    input_size: int,
+    num_gather_groups: int,
+    neighbors: int,
+    method: str,
+    mean_last_shell: Optional[float] = None,
+) -> OpCounters:
+    """Analytic data structuring counters for paper-scale inputs.
+
+    ``method`` is ``"bruteforce"`` (the whole cloud is scanned and ranked per
+    centroid -- the PointACC / GPU / Mesorasi workload) or ``"veg"`` (only
+    the last expansion shell is sorted; ``mean_last_shell`` gives its average
+    size, defaulting to ~2.5 x the gathering size which matches the measured
+    shell statistics of the functional implementation).
+    """
+    counters = OpCounters()
+    if method == "bruteforce":
+        per_centroid = max(0, input_size - 1)
+        counters.distance_computations = num_gather_groups * per_centroid
+        counters.compare_ops = num_gather_groups * per_centroid
+        counters.host_memory_reads = num_gather_groups * per_centroid
+        counters.host_memory_writes = num_gather_groups * neighbors
+        return counters
+    if method == "veg":
+        last_shell = mean_last_shell if mean_last_shell is not None else 2.5 * neighbors
+        per_centroid = int(round(last_shell))
+        counters.distance_computations = num_gather_groups * per_centroid
+        counters.compare_ops = num_gather_groups * per_centroid
+        counters.host_memory_reads = num_gather_groups * (per_centroid + neighbors)
+        counters.node_visits = num_gather_groups * 27
+        counters.onchip_writes = num_gather_groups * neighbors
+        return counters
+    raise ValueError("method must be 'bruteforce' or 'veg'")

@@ -1,0 +1,186 @@
+"""The Octree-Table: linearised octree for the FPGA-side units.
+
+Section V-B: "the generated Octree will be configured into an equivalent
+Octree-Table, to be transferred to and used by the Down-sampling Unit in the
+FPGA.  In the Octree, the leaf nodes contain the address (or address range)
+of the contained point(s)."
+
+:class:`OctreeTable` is that flat structure: one entry per node, children
+referenced by table index, and leaves carrying the host-memory address range
+of their (SFC-reorganised) points.  It also knows its own on-chip footprint
+in bits, which is what the Figure 13 on-chip-memory analysis measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.octree.builder import Octree
+from repro.octree.node import OctreeNode
+
+
+@dataclass(frozen=True)
+class OctreeTableEntry:
+    """One row of the Octree-Table.
+
+    Attributes
+    ----------
+    index:
+        Row index in the table.
+    code:
+        The node's m-code.
+    level:
+        Node depth (root = 0).
+    is_leaf:
+        Whether the row describes a leaf voxel.
+    child_indices:
+        Mapping ``octant -> row index`` for internal nodes.
+    address_range:
+        ``(start, end)`` half-open range of host-memory point slots for leaf
+        rows (in units of points, relative to the reorganised region base).
+    """
+
+    index: int
+    code: int
+    level: int
+    is_leaf: bool
+    child_indices: Dict[int, int] = field(default_factory=dict)
+    address_range: Tuple[int, int] = (0, 0)
+
+    @property
+    def num_points(self) -> int:
+        return self.address_range[1] - self.address_range[0]
+
+
+@dataclass
+class OctreeTable:
+    """Flattened octree used by the FPGA units."""
+
+    entries: List[OctreeTableEntry]
+    depth: int
+    root_index: int = 0
+    _code_to_leaf_index: Dict[int, int] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_octree(cls, octree: Octree) -> "OctreeTable":
+        """Flatten a pointer-based octree into table form.
+
+        Leaf address ranges follow the SFC leaf order so the table is
+        consistent with the host-memory reorganisation produced by
+        :class:`~repro.octree.memory_layout.HostMemoryLayout`.
+        """
+        entries: List[OctreeTableEntry] = []
+        code_to_leaf_index: Dict[int, int] = {}
+
+        # First pass: assign leaf address ranges in SFC order.
+        leaf_ranges: Dict[int, Tuple[int, int]] = {}
+        cursor = 0
+        for leaf in octree.leaves_in_sfc_order():
+            start = cursor
+            cursor += leaf.num_points
+            leaf_ranges[leaf.code] = (start, cursor)
+
+        # Second pass: pre-order traversal emitting rows; children are fixed
+        # up after their rows exist.
+        index_of_node: Dict[int, int] = {}
+
+        def emit(node: OctreeNode) -> int:
+            row = len(entries)
+            index_of_node[id(node)] = row
+            entries.append(
+                OctreeTableEntry(
+                    index=row,
+                    code=node.code,
+                    level=node.level,
+                    is_leaf=node.is_leaf,
+                    child_indices={},
+                    address_range=leaf_ranges.get(node.code, (0, 0))
+                    if node.is_leaf
+                    else (0, 0),
+                )
+            )
+            if node.is_leaf:
+                code_to_leaf_index[node.code] = row
+            child_rows: Dict[int, int] = {}
+            for octant in node.occupied_octants():
+                child_rows[octant] = emit(node.children[octant])
+            if child_rows:
+                entries[row] = OctreeTableEntry(
+                    index=row,
+                    code=node.code,
+                    level=node.level,
+                    is_leaf=False,
+                    child_indices=child_rows,
+                    address_range=(0, 0),
+                )
+            return row
+
+        root_index = emit(octree.root)
+        return cls(
+            entries=entries,
+            depth=octree.depth,
+            root_index=root_index,
+            _code_to_leaf_index=code_to_leaf_index,
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._code_to_leaf_index)
+
+    def root(self) -> OctreeTableEntry:
+        return self.entries[self.root_index]
+
+    def entry(self, index: int) -> OctreeTableEntry:
+        return self.entries[index]
+
+    def leaf_entry_for_code(self, code: int) -> Optional[OctreeTableEntry]:
+        row = self._code_to_leaf_index.get(int(code))
+        return None if row is None else self.entries[row]
+
+    def children_of(self, entry: OctreeTableEntry) -> List[OctreeTableEntry]:
+        """Child rows of an internal entry, in SFC (octant) order."""
+        return [
+            self.entries[row]
+            for _, row in sorted(entry.child_indices.items())
+        ]
+
+    def leaf_entries(self) -> List[OctreeTableEntry]:
+        """All leaf rows sorted by m-code (SFC order)."""
+        return [
+            self.entries[row]
+            for _, row in sorted(self._code_to_leaf_index.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # On-chip footprint (Figure 13)
+    # ------------------------------------------------------------------
+    def entry_bits(self) -> int:
+        """Bits needed for one table row in the FPGA implementation.
+
+        A row stores: the m-code (3 bits per level), a leaf flag, eight child
+        row indices (internal rows) or a start address + count (leaf rows).
+        Row indices and addresses are sized for the actual table/point count,
+        rounded up to whole bits.
+        """
+        code_bits = 3 * self.depth
+        index_bits = max(1, int(np.ceil(np.log2(max(2, len(self.entries))))))
+        total_points = sum(e.num_points for e in self.leaf_entries())
+        address_bits = max(1, int(np.ceil(np.log2(max(2, total_points + 1)))))
+        child_bits = 8 * index_bits
+        leaf_bits = 2 * address_bits
+        return code_bits + 1 + max(child_bits, leaf_bits)
+
+    def total_bits(self) -> int:
+        """Total on-chip storage of the table in bits."""
+        return self.entry_bits() * len(self.entries)
+
+    def total_megabits(self) -> float:
+        return self.total_bits() / 1e6

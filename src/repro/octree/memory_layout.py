@@ -1,0 +1,141 @@
+"""Octree-based host-memory reorganisation.
+
+Section V-A: after building the octree, the point cloud in host memory is
+"pre-configured" -- a reorganised copy is created in which the points appear
+in the 1-D SFC leaf order, so a leaf's points occupy consecutive addresses
+and the Octree-Table can refer to them by an address range.
+
+:class:`HostMemoryLayout` models that reorganised region: it maps point slot
+numbers (the 1-D order) to byte addresses, maps original point indices to
+their slot, and can read points back out while charging the accesses to a
+:class:`~repro.hardware.memory.HostMemory` model when one is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.pointcloud import PointCloud
+from repro.octree.builder import Octree
+
+
+@dataclass
+class HostMemoryLayout:
+    """The SFC-reorganised copy of a point cloud frame in host memory.
+
+    Attributes
+    ----------
+    octree:
+        The octree whose leaf order defines the layout.
+    base_address:
+        Byte address of the first reorganised point in host memory.
+    bytes_per_point:
+        Stored size of one point record (XYZ + features), default single
+        precision.
+    slot_to_original:
+        ``slot_to_original[s]`` is the original cloud index of the point in
+        slot ``s``.
+    original_to_slot:
+        Inverse permutation.
+    """
+
+    octree: Octree
+    base_address: int = 0
+    bytes_per_point: int = 12
+    slot_to_original: np.ndarray = field(default=None, repr=False)
+    original_to_slot: np.ndarray = field(default=None, repr=False)
+    reordered_points: np.ndarray = field(default=None, repr=False)
+    reordered_features: Optional[np.ndarray] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_octree(
+        cls,
+        octree: Octree,
+        base_address: int = 0,
+        bytes_per_scalar: int = 4,
+    ) -> "HostMemoryLayout":
+        cloud = octree.cloud
+        slot_to_original = octree.points_in_sfc_order()
+        original_to_slot = np.empty_like(slot_to_original)
+        original_to_slot[slot_to_original] = np.arange(
+            slot_to_original.shape[0], dtype=slot_to_original.dtype
+        )
+        scalars_per_point = 3 + cloud.num_feature_channels
+        layout = cls(
+            octree=octree,
+            base_address=base_address,
+            bytes_per_point=scalars_per_point * bytes_per_scalar,
+            slot_to_original=slot_to_original,
+            original_to_slot=original_to_slot,
+            reordered_points=cloud.points[slot_to_original],
+            reordered_features=(
+                None
+                if cloud.features is None
+                else cloud.features[slot_to_original]
+            ),
+        )
+        return layout
+
+    # ------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        return int(self.slot_to_original.shape[0])
+
+    def address_of_slot(self, slot: int) -> int:
+        """Byte address of the point stored in ``slot``."""
+        if not 0 <= slot < self.num_points:
+            raise IndexError(f"slot {slot} out of range [0, {self.num_points})")
+        return self.base_address + slot * self.bytes_per_point
+
+    def slot_of_original(self, original_index: int) -> int:
+        """Slot number of an original-cloud point index."""
+        return int(self.original_to_slot[original_index])
+
+    def address_of_original(self, original_index: int) -> int:
+        return self.address_of_slot(self.slot_of_original(original_index))
+
+    def leaf_slot_range(self, leaf_code: int) -> tuple[int, int]:
+        """Half-open slot range holding the points of leaf ``leaf_code``.
+
+        The octree's leaves were laid out consecutively in SFC order, so a
+        leaf's slots are contiguous; this is the address-range property the
+        Octree-Table relies on.
+        """
+        cursor = 0
+        for leaf in self.octree.leaves_in_sfc_order():
+            if leaf.code == leaf_code:
+                return cursor, cursor + leaf.num_points
+            cursor += leaf.num_points
+        raise KeyError(f"no occupied leaf with code {leaf_code}")
+
+    # ------------------------------------------------------------------
+    def read_slots(self, slots: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Read the XYZ coordinates stored at ``slots`` (reorganised order)."""
+        slots = np.asarray(slots, dtype=np.intp)
+        return self.reordered_points[slots]
+
+    def read_original(self, indices: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Read XYZ by original index, going through the slot mapping."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return self.read_slots(self.original_to_slot[indices])
+
+    def as_point_cloud(self) -> PointCloud:
+        """The reorganised copy as a new :class:`PointCloud`."""
+        return PointCloud(
+            points=self.reordered_points.copy(),
+            features=(
+                None
+                if self.reordered_features is None
+                else self.reordered_features.copy()
+            ),
+            frame_id=self.octree.cloud.frame_id,
+            timestamp=self.octree.cloud.timestamp,
+        )
+
+    def total_bytes(self) -> int:
+        """Host-memory footprint of the reorganised copy."""
+        return self.num_points * self.bytes_per_point

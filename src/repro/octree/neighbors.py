@@ -1,0 +1,108 @@
+"""Same-level voxel neighbor search.
+
+The VEG method (Section VI) expands outward from a central voxel: first the
+voxels touching it (the 26-neighbourhood at Chebyshev radius 1), then the
+next shell, and so on.  The paper cites Frisken & Perry's simple traversal
+method for quadtrees/octrees; on a complete grid at a fixed depth the
+neighbour of a voxel is obtained directly from its integer grid coordinates,
+which is what these helpers do.  They operate on m-codes so both the
+:class:`~repro.octree.linear.OctreeTable` and the
+:class:`~repro.geometry.voxelgrid.VoxelGrid` can use them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.geometry.morton import morton_decode, morton_encode
+
+
+def neighbor_codes(
+    code: int, depth: int, include_diagonal: bool = True
+) -> List[int]:
+    """M-codes of the voxels touching ``code`` at the same depth.
+
+    With ``include_diagonal`` the full 26-neighbourhood is returned (minus
+    out-of-range voxels at the grid boundary); otherwise only the 6
+    face-adjacent voxels.
+    """
+    return neighbor_codes_at_radius(
+        code, depth, radius=1, include_diagonal=include_diagonal
+    )
+
+
+def neighbor_codes_at_radius(
+    code: int,
+    depth: int,
+    radius: int,
+    include_diagonal: bool = True,
+) -> List[int]:
+    """M-codes on the Chebyshev shell at ``radius`` around ``code``.
+
+    ``radius = 0`` returns ``[code]``.  The result is sorted (SFC order) and
+    excludes voxels that would fall outside the grid.
+    """
+    if radius < 0:
+        raise ValueError("radius must be >= 0")
+    if radius == 0:
+        return [code]
+    cx, cy, cz = morton_decode(code, depth)
+    resolution = 1 << depth
+    result: List[int] = []
+    for dx in range(-radius, radius + 1):
+        for dy in range(-radius, radius + 1):
+            for dz in range(-radius, radius + 1):
+                cheb = max(abs(dx), abs(dy), abs(dz))
+                if cheb != radius:
+                    continue
+                if not include_diagonal and abs(dx) + abs(dy) + abs(dz) != radius:
+                    continue
+                ix, iy, iz = cx + dx, cy + dy, cz + dz
+                if not (
+                    0 <= ix < resolution
+                    and 0 <= iy < resolution
+                    and 0 <= iz < resolution
+                ):
+                    continue
+                result.append(morton_encode(ix, iy, iz, depth))
+    return sorted(result)
+
+
+def face_neighbor(code: int, depth: int, axis: int, direction: int) -> Optional[int]:
+    """The face-adjacent neighbour along ``axis`` (0=x,1=y,2=z).
+
+    ``direction`` is +1 or -1.  Returns ``None`` at the grid boundary.
+    """
+    if axis not in (0, 1, 2):
+        raise ValueError("axis must be 0, 1 or 2")
+    if direction not in (1, -1):
+        raise ValueError("direction must be +1 or -1")
+    coords = list(morton_decode(code, depth))
+    coords[axis] += direction
+    resolution = 1 << depth
+    if not 0 <= coords[axis] < resolution:
+        return None
+    return morton_encode(coords[0], coords[1], coords[2], depth)
+
+
+def chebyshev_distance(code_a: int, code_b: int, depth: int) -> int:
+    """Chebyshev (shell) distance between two voxels at the same depth."""
+    ax, ay, az = morton_decode(code_a, depth)
+    bx, by, bz = morton_decode(code_b, depth)
+    return max(abs(ax - bx), abs(ay - by), abs(az - bz))
+
+
+def codes_within_radius(
+    code: int, depth: int, radius: int
+) -> List[int]:
+    """All voxel codes with Chebyshev distance <= ``radius`` from ``code``."""
+    result: List[int] = []
+    for shell in range(radius + 1):
+        result.extend(neighbor_codes_at_radius(code, depth, shell))
+    return sorted(set(result))
+
+
+def filter_occupied(codes: Sequence[int], occupied: Sequence[int]) -> List[int]:
+    """Keep only the codes present in ``occupied`` (order preserving)."""
+    occupied_set = set(int(c) for c in occupied)
+    return [int(c) for c in codes if int(c) in occupied_set]

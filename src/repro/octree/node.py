@@ -1,0 +1,88 @@
+"""Pointer-based octree node.
+
+Each node corresponds to one voxel of Figure 5: internal nodes carry up to
+eight children indexed by their 3-bit octant code; leaf nodes carry the
+indices (into the original cloud) of the points that fall inside the voxel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.geometry.bbox import AxisAlignedBox
+
+
+@dataclass
+class OctreeNode:
+    """One voxel of the octree.
+
+    Attributes
+    ----------
+    code:
+        The node's m-code.  The root has code 0 at level 0; a child's code is
+        ``parent.code * 8 + octant``.
+    level:
+        Depth of the node; the root is level 0, leaves are at the tree depth.
+    box:
+        The axis-aligned cube this voxel covers.
+    children:
+        Mapping ``octant -> OctreeNode`` for the non-empty children.  Empty
+        for leaf nodes.
+    point_indices:
+        Indices of the points stored in this node.  Only leaves store points.
+    """
+
+    code: int
+    level: int
+    box: AxisAlignedBox
+    children: Dict[int, "OctreeNode"] = field(default_factory=dict)
+    point_indices: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.intp)
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def num_points(self) -> int:
+        """Points stored directly in this node (leaves only)."""
+        return int(self.point_indices.shape[0])
+
+    def subtree_point_count(self) -> int:
+        """Total points stored in this node's subtree."""
+        if self.is_leaf:
+            return self.num_points
+        return sum(child.subtree_point_count() for child in self.children.values())
+
+    def child(self, octant: int) -> Optional["OctreeNode"]:
+        return self.children.get(octant)
+
+    def occupied_octants(self) -> List[int]:
+        """Octant codes of the non-empty children, in SFC order."""
+        return sorted(self.children.keys())
+
+    # ------------------------------------------------------------------
+    def iter_leaves(self) -> Iterator["OctreeNode"]:
+        """Depth-first, SFC-ordered traversal of the leaf nodes."""
+        if self.is_leaf:
+            yield self
+            return
+        for octant in self.occupied_octants():
+            yield from self.children[octant].iter_leaves()
+
+    def iter_nodes(self) -> Iterator["OctreeNode"]:
+        """Depth-first, SFC-ordered traversal of all nodes (pre-order)."""
+        yield self
+        for octant in self.occupied_octants():
+            yield from self.children[octant].iter_nodes()
+
+    def bits(self) -> str:
+        """Binary m-code string, e.g. ``'110101'`` for a level-2 quad node."""
+        if self.level == 0:
+            return ""
+        return format(self.code, f"0{3 * self.level}b")

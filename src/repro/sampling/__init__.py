@@ -1,0 +1,35 @@
+"""Down-sampling methods for the pre-processing phase.
+
+The paper compares four samplers (Figure 12):
+
+* :class:`~repro.sampling.fps.FarthestPointSampler` -- the common FPS
+  baseline (Algorithm 1 of Figure 6), memory intensive.
+* :class:`~repro.sampling.random_sampling.RandomSampler` -- fast but lossy.
+* :class:`~repro.sampling.random_sampling.ReinforcedRandomSampler` -- the
+  "RS+reinforce" encoder-assisted variant of RandLA-Net-style pipelines.
+* :class:`~repro.sampling.ois.OctreeIndexedSampler` -- the paper's OIS method
+  (Algorithm 2), which replaces point-wise distance scans with Octree-Table
+  lookups and Hamming distances on m-codes.
+
+A voxel-grid sampler is included as an additional commonly used baseline.
+All samplers share the :class:`~repro.sampling.base.Sampler` interface and
+report :class:`~repro.core.metrics.OpCounters`.
+"""
+
+from repro.sampling.base import Sampler, SamplingResult
+from repro.sampling.fps import FarthestPointSampler, fps_counter_model
+from repro.sampling.ois import OctreeIndexedSampler, ois_counter_model
+from repro.sampling.random_sampling import RandomSampler, ReinforcedRandomSampler
+from repro.sampling.voxel_grid_sampling import VoxelGridSampler
+
+__all__ = [
+    "FarthestPointSampler",
+    "OctreeIndexedSampler",
+    "RandomSampler",
+    "ReinforcedRandomSampler",
+    "Sampler",
+    "SamplingResult",
+    "VoxelGridSampler",
+    "fps_counter_model",
+    "ois_counter_model",
+]

@@ -1,0 +1,292 @@
+"""Octree-Indexed Sampling (OIS) -- the paper's Algorithm 2.
+
+OIS replaces the point-wise distance scans of FPS with spatial-index
+operations:
+
+1. **Octree-build Unit (CPU):** build an octree over the raw frame in a
+   single pass and reorganise the points in host memory into SFC leaf order
+   (:class:`~repro.octree.memory_layout.HostMemoryLayout`).
+2. **Down-sampling Unit (FPGA):** to pick the next sample, descend the
+   Octree-Table from the root, at every level choosing the child voxel whose
+   m-code is farthest (by Hamming distance) from the current seed voxel;
+   within the reached leaf the point is chosen by SFC order.  Only the
+   finally selected point is read from host memory, so the per-iteration
+   memory traffic drops from O(N) to O(depth).
+
+The functional implementation below produces a real sample set and real
+operation counts; the paper-scale analytic model is exposed separately as
+:func:`ois_counter_model` so benchmarks can report counts for million-point
+frames without materialising them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.metrics import OpCounters
+from repro.geometry.morton import (
+    hamming_distance,
+    morton_encode_points,
+    prefix_at_level,
+)
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.voxelgrid import suggest_depth
+from repro.octree.builder import Octree
+from repro.octree.memory_layout import HostMemoryLayout
+from repro.sampling.base import Sampler, SamplingResult
+
+
+def ois_counter_model(
+    num_points: int,
+    num_samples: int,
+    octree_depth: int,
+    num_sampling_modules: int = 8,
+    include_build: bool = True,
+) -> OpCounters:
+    """Analytic operation counts of Algorithm 2.
+
+    * Octree build: one streaming read of the raw frame plus one write per
+      point for the reorganised copy (when ``include_build``).
+    * Per sample: one Octree-Table walk of ``octree_depth`` levels.  At each
+      level the Sampling Modules evaluate up to eight child voxels
+      (Hamming distances) in parallel; all of that traffic stays on chip.
+    * Per sample: exactly one host-memory read (the picked point) and one
+      on-chip write into the Sampled-Point-Table.
+    """
+    if octree_depth < 1:
+        raise ValueError("octree_depth must be >= 1")
+    counters = OpCounters()
+    if include_build:
+        counters.host_memory_reads += num_points
+        counters.host_memory_writes += num_points
+        # m-code computation + bucket insertion during the single build pass
+        # (kept consistent with ``hardware.octree_build_unit``).
+        counters.compare_ops += num_points * (octree_depth + 2)
+    per_level_children = min(8, max(1, num_sampling_modules))
+    counters.node_visits += num_samples * octree_depth
+    counters.hamming_ops += num_samples * octree_depth * per_level_children
+    counters.onchip_reads += num_samples * octree_depth * per_level_children
+    counters.compare_ops += num_samples * octree_depth * per_level_children
+    counters.host_memory_reads += num_samples
+    counters.onchip_writes += num_samples
+    return counters
+
+
+class OctreeIndexedSampler(Sampler):
+    """Functional OIS implementation with operation accounting.
+
+    Parameters
+    ----------
+    octree_depth:
+        Depth of the octree; ``None`` picks a depth from the frame size.
+    num_sampling_modules:
+        Voxel-level parallelism of the Down-sampling Unit (Figure 7b).  The
+        functional result does not depend on it; the hardware latency model
+        does, and the counters record the work as if all children of a node
+        are evaluated (which the modules do in parallel).
+    approximate:
+        Enable the approximate OIS-based FPS of Section VIII-A: once the
+        walk reaches the leaf, a random unpicked point of the leaf replaces
+        the SFC-extreme point.
+    count_build_at_scale:
+        When given, build-phase counters are reported for a frame of this
+        many points (paper-scale) while the functional pass runs on the
+        actual input.
+    """
+
+    name = "ois"
+
+    def __init__(
+        self,
+        octree_depth: Optional[int] = None,
+        num_sampling_modules: int = 8,
+        approximate: bool = False,
+        seed: int = 0,
+        count_build_at_scale: Optional[int] = None,
+    ):
+        self._octree_depth = octree_depth
+        self._num_sampling_modules = num_sampling_modules
+        self._approximate = approximate
+        self._seed = seed
+        self._count_build_at_scale = count_build_at_scale
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        cloud: PointCloud,
+        num_samples: int,
+        octree: Optional[Octree] = None,
+    ) -> SamplingResult:
+        """Down-sample ``cloud``; optionally reuse a pre-built ``octree``.
+
+        Passing a pre-built octree models the amortisation the paper points
+        out: the VEG method of the Inference Engine reuses the same octree,
+        so its build cost is paid once per frame.
+        """
+        self._validate(cloud, num_samples)
+        rng = np.random.default_rng(self._seed)
+        counters = OpCounters()
+
+        depth = self._octree_depth or suggest_depth(cloud.num_points)
+        if octree is None:
+            octree = Octree.build(cloud, depth=depth)
+            build_reads = octree.stats.host_memory_reads
+            build_writes = octree.stats.host_memory_writes
+            if self._count_build_at_scale is not None:
+                scale = self._count_build_at_scale / max(1, cloud.num_points)
+                build_reads = int(round(build_reads * scale))
+                build_writes = int(round(build_writes * scale))
+            counters.host_memory_reads += build_reads
+            counters.host_memory_writes += build_writes
+        else:
+            depth = octree.depth
+        layout = HostMemoryLayout.from_octree(octree)
+
+        picked = self._run_sampling_loop(
+            octree, layout, num_samples, rng, counters
+        )
+        return self._result(
+            cloud,
+            np.asarray(picked, dtype=np.intp),
+            counters,
+            info={
+                "octree_depth": depth,
+                "octree_nodes": octree.num_nodes,
+                "octree_leaves": octree.num_leaves,
+                "octree_build_stats": octree.stats,
+                "approximate": self._approximate,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _run_sampling_loop(
+        self,
+        octree: Octree,
+        layout: HostMemoryLayout,
+        num_samples: int,
+        rng: np.random.Generator,
+        counters: OpCounters,
+    ) -> List[int]:
+        depth = octree.depth
+        cloud = octree.cloud
+        point_codes = octree.point_codes
+
+        # Remaining (unpicked) points per leaf, kept in SFC slot order so the
+        # "farthest point by SFC traversal" rule is an end-of-list access.
+        remaining: Dict[int, List[int]] = {}
+        for leaf in octree.leaves_in_sfc_order():
+            slots = sorted(
+                layout.slot_of_original(int(i)) for i in leaf.point_indices
+            )
+            remaining[leaf.code] = [int(layout.slot_to_original[s]) for s in slots]
+        # Remaining counts per (level, prefix) so exhausted subtrees are
+        # skipped during the descent, and picked counts per prefix so the
+        # walk prefers subtrees that have not yet contributed a sample.
+        # (Genuine FPS naturally avoids regions that already contain picked
+        # points because their distance-to-S collapses; the Octree walk
+        # reproduces that with one "picked" counter per node, which in
+        # hardware is a small per-entry tag in the Octree-Table.)
+        remaining_count: Dict[Tuple[int, int], int] = {}
+        picked_count: Dict[Tuple[int, int], int] = {}
+        for leaf_code, points in remaining.items():
+            for level in range(1, depth + 1):
+                key = (level, prefix_at_level(leaf_code, depth, level))
+                remaining_count[key] = remaining_count.get(key, 0) + len(points)
+                picked_count.setdefault(key, 0)
+
+        def consume(original_index: int) -> None:
+            leaf_code = int(point_codes[original_index])
+            remaining[leaf_code].remove(original_index)
+            for level in range(1, depth + 1):
+                key = (level, prefix_at_level(leaf_code, depth, level))
+                remaining_count[key] -= 1
+                picked_count[key] += 1
+
+        picked: List[int] = []
+        picked_codes_sum = np.zeros(3, dtype=np.float64)
+
+        # Seed point: random pick, written into the first SPT entry.
+        seed_index = int(rng.integers(cloud.num_points))
+        picked.append(seed_index)
+        consume(seed_index)
+        picked_codes_sum += cloud.points[seed_index]
+        counters.host_memory_reads += 1
+        counters.onchip_writes += 1
+
+        while len(picked) < num_samples:
+            # Virtual summary point ||S||_2 of the picked set (Section V-B).
+            summary_point = picked_codes_sum / len(picked)
+            summary_code = int(
+                morton_encode_points(summary_point[None, :], octree.box, depth)[0]
+            )
+            next_index = self._descend(
+                octree,
+                summary_code,
+                remaining,
+                remaining_count,
+                picked_count,
+                rng,
+                counters,
+            )
+            picked.append(next_index)
+            consume(next_index)
+            picked_codes_sum += cloud.points[next_index]
+            counters.host_memory_reads += 1
+            counters.onchip_writes += 1
+        return picked
+
+    def _descend(
+        self,
+        octree: Octree,
+        seed_code: int,
+        remaining: Dict[int, List[int]],
+        remaining_count: Dict[Tuple[int, int], int],
+        picked_count: Dict[Tuple[int, int], int],
+        rng: np.random.Generator,
+        counters: OpCounters,
+    ) -> int:
+        """Walk the octree picking the farthest non-exhausted voxel per level.
+
+        Children that have contributed fewer samples so far take priority
+        (see the comment in :meth:`_run_sampling_loop`); among equally-picked
+        children the one with the largest Hamming distance from the seed
+        voxel wins, exactly the comparison the Sampling Modules perform.
+        """
+        depth = octree.depth
+        node = octree.root
+        for level in range(1, depth + 1):
+            seed_prefix = prefix_at_level(seed_code, depth, level)
+            best_child = None
+            best_key = None
+            candidates = node.occupied_octants()
+            counters.node_visits += 1
+            for octant in candidates:
+                child = node.children[octant]
+                if remaining_count.get((level, child.code), 0) <= 0:
+                    continue
+                counters.hamming_ops += 1
+                counters.onchip_reads += 1
+                counters.compare_ops += 1
+                distance = hamming_distance(child.code, seed_prefix)
+                already_picked = picked_count.get((level, child.code), 0)
+                key = (-already_picked, distance)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_child = child
+            if best_child is None:
+                raise RuntimeError(
+                    "octree exhausted before collecting the requested samples"
+                )
+            node = best_child
+
+        candidates = remaining[node.code]
+        if self._approximate:
+            choice = int(rng.integers(len(candidates)))
+            return candidates[choice]
+        # Exact rule: the SFC-extreme point of the leaf, i.e. the end of the
+        # intra-leaf SFC order farthest from the seed side of the curve.
+        if seed_code <= node.code:
+            return candidates[-1]
+        return candidates[0]

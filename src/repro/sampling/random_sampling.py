@@ -1,0 +1,89 @@
+"""Random sampling (RS) and the RS+reinforce surrogate.
+
+Random sampling simply draws K points uniformly without replacement.  It is
+the only traditional method fast enough for real-time use on general-purpose
+hardware, but its information loss is high (Section II-A).  RandLA-Net-style
+pipelines compensate with an encoder ("reinforcement") stage; the paper's
+Figure 12 includes such an "RS+reinforce" baseline, which we model as random
+sampling plus the extra feature-encoder workload charged to the counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import OpCounters
+from repro.geometry.pointcloud import PointCloud
+from repro.sampling.base import Sampler, SamplingResult
+
+
+class RandomSampler(Sampler):
+    """Uniform random down-sampling."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+
+    def sample(self, cloud: PointCloud, num_samples: int) -> SamplingResult:
+        self._validate(cloud, num_samples)
+        rng = np.random.default_rng(self._seed)
+        indices = rng.choice(cloud.num_points, size=num_samples, replace=False)
+        counters = OpCounters(
+            # One read per selected point, one write for the output; index
+            # generation itself touches no point data.
+            host_memory_reads=num_samples,
+            host_memory_writes=num_samples,
+        )
+        return self._result(cloud, indices, counters)
+
+
+class ReinforcedRandomSampler(Sampler):
+    """Random sampling followed by an encoder "reinforcement" pass.
+
+    The reinforcement stage of RandLA-Net-style networks runs a local feature
+    encoder over the randomly kept points to recover information lost by the
+    random selection.  Functionally the selected indices are the random ones;
+    the extra cost is the encoder workload, charged as MACs plus one
+    neighborhood gather per kept point.  The paper notes this approach is not
+    universal (it requires an encoder-decoder network); the flag
+    ``requires_encoder_decoder`` records that constraint for reports.
+    """
+
+    name = "random+reinforce"
+    requires_encoder_decoder = True
+
+    def __init__(
+        self,
+        seed: int = 0,
+        encoder_channels: int = 32,
+        neighbors: int = 16,
+    ):
+        self._seed = seed
+        self._encoder_channels = encoder_channels
+        self._neighbors = neighbors
+
+    def sample(self, cloud: PointCloud, num_samples: int) -> SamplingResult:
+        self._validate(cloud, num_samples)
+        base = RandomSampler(seed=self._seed).sample(cloud, num_samples)
+        counters = base.counters
+        # Encoder workload: for each kept point, gather `neighbors` points
+        # (distance computations against a local subset) and run a small
+        # shared MLP of `encoder_channels` width over the gathered features.
+        counters.distance_computations += num_samples * self._neighbors
+        counters.host_memory_reads += num_samples * self._neighbors
+        counters.mac_ops += (
+            num_samples * self._neighbors * 3 * self._encoder_channels
+            + num_samples * self._encoder_channels * self._encoder_channels
+        )
+        return SamplingResult(
+            indices=base.indices,
+            counters=counters,
+            sampled=base.sampled,
+            method=self.name,
+            info={
+                "encoder_channels": self._encoder_channels,
+                "neighbors": self._neighbors,
+                "requires_encoder_decoder": True,
+            },
+        )

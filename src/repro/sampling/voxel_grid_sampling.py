@@ -1,0 +1,89 @@
+"""Voxel-grid down-sampling baseline.
+
+Not one of the paper's headline comparisons, but a standard point cloud
+library method (keep one representative point per occupied voxel) that is
+useful for ablations: it shares OIS's use of a voxel structure but not its
+FPS-equivalent selection rule, which makes it a good control when studying
+where OIS's quality comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import OpCounters
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.voxelgrid import VoxelGrid, suggest_depth
+from repro.sampling.base import Sampler, SamplingResult
+
+
+class VoxelGridSampler(Sampler):
+    """Keep the first (SFC-ordered) point of occupied voxels until K points.
+
+    The grid depth is chosen so the number of occupied voxels is at least the
+    requested sample count; if a single depth yields more occupied voxels
+    than K, voxels are visited in SFC order and one point is taken from each
+    until K points are collected, then the remaining points are filled from
+    the most populated voxels.
+    """
+
+    name = "voxelgrid"
+
+    def __init__(self, depth: int | None = None, seed: int = 0):
+        self._depth = depth
+        self._seed = seed
+
+    def sample(self, cloud: PointCloud, num_samples: int) -> SamplingResult:
+        self._validate(cloud, num_samples)
+        depth = self._depth or suggest_depth(cloud.num_points)
+        # Deepen until enough occupied voxels exist to cover the request.
+        grid = VoxelGrid.build(cloud, depth)
+        while grid.num_occupied_voxels < num_samples and depth < 12:
+            depth += 1
+            grid = VoxelGrid.build(cloud, depth)
+
+        counters = OpCounters(
+            # One streaming pass to voxelise, one write of the kept points.
+            host_memory_reads=cloud.num_points,
+            host_memory_writes=num_samples,
+            node_visits=grid.num_occupied_voxels,
+        )
+
+        selected: list[int] = []
+        codes = grid.occupied_codes()
+        # Stride evenly along the SFC order: because the space-filling curve
+        # preserves locality, an even stride over the occupied voxels spreads
+        # the kept points over the whole cloud rather than clustering them at
+        # the low-code corner.
+        take = min(num_samples, len(codes))
+        positions = np.linspace(0, len(codes) - 1, take).round().astype(int)
+        for code in codes[np.unique(positions)]:
+            if len(selected) >= num_samples:
+                break
+            bucket = grid.points_in_voxel(int(code))
+            selected.append(int(bucket[0]))
+        if len(selected) < num_samples:
+            # Fill the remainder from the most populated voxels.
+            histogram = sorted(
+                grid.occupancy_histogram().items(),
+                key=lambda item: item[1],
+                reverse=True,
+            )
+            taken = set(selected)
+            for code, _count in histogram:
+                for idx in grid.points_in_voxel(code):
+                    if len(selected) >= num_samples:
+                        break
+                    if int(idx) not in taken:
+                        selected.append(int(idx))
+                        taken.add(int(idx))
+                if len(selected) >= num_samples:
+                    break
+
+        indices = np.asarray(selected[:num_samples], dtype=np.intp)
+        return self._result(
+            cloud,
+            indices,
+            counters,
+            info={"depth": depth, "occupied_voxels": grid.num_occupied_voxels},
+        )

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+All fixtures generate small clouds (hundreds to a few thousand points) so
+the functional algorithms stay fast; paper-scale behaviour is covered by the
+analytic counter models, which are exercised separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.pointcloud import PointCloud
+from repro.datasets.synthetic import gaussian_clusters, lidar_scene, sample_cad_shape
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_cloud(rng) -> PointCloud:
+    """A 200-point uniform cloud."""
+    return PointCloud(points=rng.uniform(-1, 1, size=(200, 3)))
+
+
+@pytest.fixture
+def medium_cloud(rng) -> PointCloud:
+    """A 2000-point clustered cloud (non-uniform occupancy)."""
+    return gaussian_clusters(2000, num_clusters=6, seed=7)
+
+
+@pytest.fixture
+def cad_cloud() -> PointCloud:
+    """A CAD-style surface cloud (ModelNet regime)."""
+    return sample_cad_shape(1500, shape="box", non_uniformity=0.3, seed=3)
+
+
+@pytest.fixture
+def lidar_cloud() -> PointCloud:
+    """A small LiDAR-style scene with an intensity feature channel."""
+    return lidar_scene(3000, num_objects=5, seed=5)
+
+
+@pytest.fixture
+def featured_cloud(rng) -> PointCloud:
+    """A cloud carrying a 4-channel feature vector per point."""
+    points = rng.uniform(0, 1, size=(300, 3))
+    features = rng.normal(size=(300, 4))
+    return PointCloud(points=points, features=features)

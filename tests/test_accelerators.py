@@ -1,0 +1,169 @@
+"""Unit tests for the accelerator models (Figure 14 comparison)."""
+
+import pytest
+
+from repro.accelerators import (
+    CPUExecutor,
+    GPUExecutor,
+    HgPCNInferenceAccelerator,
+    InferenceWorkloadSpec,
+    MesorasiModel,
+    PointACCModel,
+)
+from repro.accelerators.base import GatherLayerSpec
+
+
+BENCHMARKS = ["modelnet40", "shapenet", "s3dis", "kitti"]
+
+
+class TestWorkloadSpec:
+    def test_from_benchmark(self):
+        spec = InferenceWorkloadSpec.from_benchmark("kitti")
+        assert spec.input_size == 16384
+        assert spec.task == "semantic_segmentation"
+
+    def test_gather_layers_structure(self):
+        spec = InferenceWorkloadSpec.from_benchmark("s3dis")
+        layers = spec.gather_layers()
+        assert len(layers) == 2
+        assert layers[0].pool_size == 4096
+        assert layers[1].pool_size == layers[0].num_centroids
+
+    def test_classification_uses_more_centroids(self):
+        cls = InferenceWorkloadSpec(dataset="m", task="classification", input_size=1024)
+        seg = InferenceWorkloadSpec(
+            dataset="s", task="semantic_segmentation", input_size=1024
+        )
+        assert cls.gather_layers()[0].num_centroids > seg.gather_layers()[0].num_centroids
+
+    def test_network_workload_nonzero(self):
+        spec = InferenceWorkloadSpec.from_benchmark("modelnet40")
+        assert spec.network_workload().total_mac_ops() > 1e8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InferenceWorkloadSpec(dataset="x", task="classification", input_size=0)
+        with pytest.raises(ValueError):
+            InferenceWorkloadSpec(dataset="x", task="detection", input_size=128)
+
+
+class TestReports:
+    @pytest.mark.parametrize("benchmark_name", BENCHMARKS)
+    def test_all_accelerators_produce_reports(self, benchmark_name):
+        spec = InferenceWorkloadSpec.from_benchmark(benchmark_name)
+        for accel in (
+            HgPCNInferenceAccelerator(),
+            PointACCModel(),
+            MesorasiModel(),
+            GPUExecutor(profile="jetson_xavier_nx"),
+            CPUExecutor(),
+        ):
+            report = accel.inference_report(spec)
+            assert report.total_seconds() > 0
+            assert report.data_structuring_seconds >= 0
+            assert report.feature_computation_seconds > 0
+
+    def test_speedup_over(self):
+        spec = InferenceWorkloadSpec.from_benchmark("kitti")
+        hg = HgPCNInferenceAccelerator().inference_report(spec)
+        pa = PointACCModel().inference_report(spec)
+        assert hg.speedup_over(pa) == pytest.approx(
+            pa.total_seconds() / hg.total_seconds()
+        )
+
+    def test_overlap_model(self):
+        spec = InferenceWorkloadSpec.from_benchmark("kitti")
+        report = HgPCNInferenceAccelerator().inference_report(spec)
+        assert report.overlapped
+        assert report.total_seconds() <= (
+            report.data_structuring_seconds
+            + report.feature_computation_seconds
+            + report.overhead_seconds
+        )
+
+
+class TestHgPCN:
+    def test_ds_much_smaller_than_fc(self):
+        """HgPCN's DSU removes the data structuring bottleneck: its share of
+        the inference latency is small."""
+        spec = InferenceWorkloadSpec.from_benchmark("kitti")
+        report = HgPCNInferenceAccelerator().inference_report(spec)
+        assert report.data_structuring_seconds < 0.5 * report.feature_computation_seconds
+
+    def test_measured_run_stats_override(self, medium_cloud):
+        from repro.datastructuring.base import pick_random_centroids
+        from repro.datastructuring.veg import VoxelExpandedGatherer
+
+        centroids = pick_random_centroids(medium_cloud, 32, seed=0)
+        veg = VoxelExpandedGatherer(seed=0).gather(medium_cloud, centroids, 16)
+        spec = InferenceWorkloadSpec(
+            dataset="custom", task="classification", input_size=medium_cloud.num_points
+        )
+        accel = HgPCNInferenceAccelerator()
+        default = accel.inference_report(spec)
+        measured = accel.inference_report(
+            spec, measured_run_stats={"sa1": veg.info["run_stats"]}
+        )
+        assert (
+            measured.data_structuring_seconds != default.data_structuring_seconds
+        )
+
+
+class TestPointACC:
+    def test_sort_workload_scales_with_input(self):
+        small = PointACCModel().data_structuring_seconds(
+            InferenceWorkloadSpec.from_benchmark("modelnet40")
+        )
+        large = PointACCModel().data_structuring_seconds(
+            InferenceWorkloadSpec.from_benchmark("kitti")
+        )
+        # More than linear in the input size (bitonic full sort per centroid).
+        assert large / small > 16
+
+    def test_hgpcn_beats_pointacc_everywhere(self):
+        for benchmark_name in BENCHMARKS:
+            spec = InferenceWorkloadSpec.from_benchmark(benchmark_name)
+            hg = HgPCNInferenceAccelerator().inference_report(spec)
+            pa = PointACCModel().inference_report(spec)
+            assert hg.speedup_over(pa) > 1.0
+
+
+class TestMesorasi:
+    def test_delayed_aggregation_reduces_fc(self):
+        spec = InferenceWorkloadSpec.from_benchmark("s3dis")
+        mesorasi = MesorasiModel().inference_report(spec)
+        pointacc = PointACCModel().inference_report(spec)
+        assert (
+            mesorasi.feature_computation_seconds
+            < pointacc.feature_computation_seconds
+        )
+
+    def test_ds_still_dominates(self):
+        """The paper: Mesorasi remains limited by the data structuring step."""
+        spec = InferenceWorkloadSpec.from_benchmark("kitti")
+        report = MesorasiModel().inference_report(spec)
+        assert report.data_structuring_seconds > report.feature_computation_seconds
+
+
+class TestGeneralPurpose:
+    def test_gpu_preprocessing_methods(self):
+        gpu = GPUExecutor(profile="rtx_4060ti")
+        fps = gpu.preprocessing_seconds(100_000, 4096, "fps")
+        rs = gpu.preprocessing_seconds(100_000, 4096, "random")
+        ois = gpu.preprocessing_seconds(100_000, 4096, "ois")
+        assert fps > ois > rs
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            CPUExecutor().preprocessing_seconds(1000, 100, "magic")
+
+    def test_cpu_slower_than_desktop_gpu(self):
+        spec = InferenceWorkloadSpec.from_benchmark("s3dis")
+        cpu = CPUExecutor().inference_report(spec)
+        gpu = GPUExecutor(profile="rtx_4060ti").inference_report(spec)
+        assert cpu.total_seconds() > gpu.total_seconds()
+
+    def test_cpu_ois_breakdown(self):
+        breakdown = CPUExecutor().ois_breakdown_seconds(100_000, 4096, 8)
+        assert breakdown.seconds_for("octree_build") > 0
+        assert breakdown.seconds_for("sampling_walk") > 0

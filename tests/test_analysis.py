@@ -1,0 +1,105 @@
+"""Unit tests for the analysis helpers (breakdown, realtime, reporting, sweep)."""
+
+import pytest
+
+from repro.analysis.breakdown import e2e_breakdown_for_benchmark
+from repro.analysis.realtime import evaluate_realtime
+from repro.analysis.reporting import (
+    format_fraction_breakdown,
+    format_speedup_series,
+    format_table,
+    summarize_range,
+)
+from repro.analysis.sweep import ParameterSweep
+
+
+class TestBreakdown:
+    def test_preprocessing_dominates_on_cpu(self):
+        """The Figure 3 observation for large raw frames."""
+        for benchmark in ("modelnet40", "s3dis", "kitti"):
+            result = e2e_breakdown_for_benchmark(benchmark, platform="cpu")
+            assert result.preprocessing_fraction() > 0.5
+
+    def test_fraction_grows_with_raw_size(self):
+        small = e2e_breakdown_for_benchmark("modelnet40", platform="cpu")
+        large = e2e_breakdown_for_benchmark("kitti", platform="cpu")
+        assert large.preprocessing_fraction() > small.preprocessing_fraction()
+
+    def test_gpu_platform(self):
+        result = e2e_breakdown_for_benchmark("kitti", platform="gpu")
+        assert result.preprocessing_fraction() > 0.5
+        assert result.platform == "gpu"
+
+    def test_fractions_sum_to_one(self):
+        result = e2e_breakdown_for_benchmark("s3dis", platform="cpu")
+        assert result.preprocessing_fraction() + result.inference_fraction() == pytest.approx(1.0)
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValueError):
+            e2e_breakdown_for_benchmark("kitti", platform="tpu")
+
+    def test_raw_points_override(self):
+        default = e2e_breakdown_for_benchmark("kitti", platform="cpu")
+        bigger = e2e_breakdown_for_benchmark("kitti", platform="cpu", raw_points=5_000_000)
+        assert bigger.preprocessing_seconds > default.preprocessing_seconds
+
+
+class TestRealtime:
+    def test_fast_pipeline_meets_realtime(self):
+        report = evaluate_realtime([0.04] * 20, sensor_rate_hz=10.0)
+        assert report.meets_realtime
+        assert report.headroom() > 1.0
+
+    def test_slow_pipeline_fails(self):
+        report = evaluate_realtime([0.3] * 20, sensor_rate_hz=10.0)
+        assert not report.meets_realtime
+        assert report.max_backlog > 1
+
+    def test_statistics(self):
+        report = evaluate_realtime([0.01, 0.02, 0.03], sensor_rate_hz=10.0)
+        assert report.mean_frame_latency_s == pytest.approx(0.02)
+        assert report.p99_frame_latency_s <= 0.03 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_realtime([], sensor_rate_hz=10.0)
+        with pytest.raises(ValueError):
+            evaluate_realtime([-0.1], sensor_rate_hz=10.0)
+
+
+class TestReporting:
+    def test_format_table_contains_cells(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        assert "T" in text and "2.5" in text and "x" in text
+
+    def test_format_speedup_series(self):
+        text = format_speedup_series(
+            {"kitti": {"pointacc": 8.0, "jetson": 19.5}}, title="Fig 14"
+        )
+        assert "8.00x" in text and "vs jetson" in text
+
+    def test_format_fraction_breakdown(self):
+        text = format_fraction_breakdown({"kitti": {"pre": 0.95, "inf": 0.05}})
+        assert "95.0%" in text
+
+    def test_summarize_range(self):
+        text = summarize_range({"a": 1.5, "b": 9.0})
+        assert "1.50x" in text and "9.00x" in text
+        assert summarize_range({}) == "(empty)"
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        sweep = ParameterSweep(parameters={"n": [1, 2], "k": [10, 20, 30]})
+        results = sweep.run(lambda n, k: {"product": n * k})
+        assert len(results) == 6
+        assert results[0].metrics["product"] == 10
+
+    def test_metric_series_and_rows(self):
+        sweep = ParameterSweep(parameters={"n": [1, 2]})
+        sweep.run(lambda n: {"double": 2 * n})
+        series = sweep.metric_series("double")
+        assert series["n=1"] == 2
+        rows = sweep.rows(["double"])
+        assert rows[1] == [2, 4]
+        assert sweep.headers(["double"]) == ["n", "double"]

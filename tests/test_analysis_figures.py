@@ -1,0 +1,104 @@
+"""Unit tests for the figure-reproduction module (repro.analysis.figures)."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FigureReport,
+    all_reports,
+    figure3_e2e_breakdown,
+    figure9_memory_access_saving,
+    figure12_preprocessing_engine,
+    figure13_onchip_memory,
+    figure14_inference_speedup,
+    figure15_veg_benefit,
+    figure16_veg_breakdown,
+    match_reports,
+    section7e_realtime,
+    table1_benchmarks,
+)
+
+
+class TestIndividualReports:
+    def test_table1_has_four_rows(self):
+        report = table1_benchmarks()
+        assert len(report.rows) == 4
+        assert report.exhibit == "Table I"
+
+    def test_figure3_platforms(self):
+        for platform in ("cpu", "gpu"):
+            report = figure3_e2e_breakdown(platform)
+            assert len(report.rows) == 4
+            assert platform in report.title
+
+    def test_figure9_skips_invalid_frames(self):
+        report = figure9_memory_access_saving()
+        # Every plotted frame samples fewer points than it contains.
+        for row in report.rows:
+            assert row[2] <= row[1]
+
+    def test_figure12_has_all_columns(self):
+        report = figure12_preprocessing_engine()
+        assert len(report.headers) == 8
+        assert len(report.rows) == 4
+
+    def test_figure13_budget_flags(self):
+        report = figure13_onchip_memory()
+        assert {row[5] for row in report.rows} == {"yes"}
+
+    def test_figure14_formats_speedups(self):
+        report = figure14_inference_speedup()
+        for row in report.rows:
+            for cell in row[2:]:
+                assert cell.endswith("x")
+
+    def test_figure15_monotone(self):
+        report = figure15_veg_benefit()
+        reductions = [float(row[4].rstrip("x")) for row in report.rows]
+        assert reductions == sorted(reductions)
+
+    def test_figure16_percentages_sum_to_100(self):
+        report = figure16_veg_breakdown()
+        for row in report.rows:
+            shares = [float(cell.rstrip("%")) for cell in row[2:]]
+            assert sum(shares) == pytest.approx(100.0, abs=0.5)
+
+    def test_section7e_returns_realtime_report(self):
+        figure, report = section7e_realtime(num_frames=8)
+        assert figure.exhibit == "Section VII-E"
+        assert report.achieved_fps > 0
+
+    def test_formatted_output_contains_title(self):
+        text = table1_benchmarks().formatted()
+        assert "Table I" in text and "ModelNet40" in text
+
+
+class TestAllReportsAndMatching:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return all_reports()
+
+    def test_all_exhibits_present(self, reports):
+        exhibits = [report.exhibit for report in reports]
+        assert "Table I" in exhibits
+        for number in (3, 9, 10, 11, 12, 13, 14, 15, 16):
+            assert any(f"Figure {number}" == e for e in exhibits)
+        assert "Section VII-E" in exhibits
+
+    def test_every_report_is_well_formed(self, reports):
+        for report in reports:
+            assert isinstance(report, FigureReport)
+            assert report.rows
+            for row in report.rows:
+                assert len(row) == len(report.headers)
+
+    def test_match_by_shorthand(self, reports):
+        assert [r.exhibit for r in match_reports("fig14", reports)] == ["Figure 14"]
+        assert [r.exhibit for r in match_reports("figure 14", reports)] == ["Figure 14"]
+        assert match_reports("table", reports)[0].exhibit == "Table I"
+        assert match_reports("sec", reports)[-1].exhibit == "Section VII-E"
+
+    def test_match_empty_returns_all(self, reports):
+        assert match_reports("", reports) == reports
+
+    def test_match_nothing(self, reports):
+        assert match_reports("figure99", reports) == []

@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import (
+    HgPCNConfig,
+    InferenceEngineConfig,
+    PreprocessingConfig,
+    SystemConfig,
+)
+
+
+class TestPreprocessingConfig:
+    def test_defaults(self):
+        config = PreprocessingConfig()
+        assert config.num_samples == 4096
+        assert config.num_sampling_modules == 8
+        assert not config.approximate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PreprocessingConfig(num_samples=0)
+        with pytest.raises(ValueError):
+            PreprocessingConfig(num_sampling_modules=0)
+        with pytest.raises(ValueError):
+            PreprocessingConfig(octree_depth=0)
+
+    def test_frozen(self):
+        config = PreprocessingConfig()
+        with pytest.raises(AttributeError):
+            config.num_samples = 10
+
+
+class TestInferenceEngineConfig:
+    def test_defaults_match_paper_example(self):
+        config = InferenceEngineConfig()
+        assert config.neighbors_per_centroid == 32
+        assert config.systolic_rows == 16
+        assert config.systolic_cols == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InferenceEngineConfig(num_centroids=0)
+        with pytest.raises(ValueError):
+            InferenceEngineConfig(gather_method="octree")
+        with pytest.raises(ValueError):
+            InferenceEngineConfig(ball_radius=-1.0)
+
+    def test_ballquery_accepted(self):
+        assert InferenceEngineConfig(gather_method="ballquery").ball_radius > 0
+
+
+class TestSystemConfig:
+    def test_defaults_match_prototype(self):
+        config = SystemConfig()
+        assert config.onchip_memory_megabits == 65.0
+        assert config.fpga_profile == "arria10_gx"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(bytes_per_scalar=0)
+        with pytest.raises(ValueError):
+            SystemConfig(onchip_memory_megabits=0)
+
+
+class TestHgPCNConfig:
+    def test_for_task_sets_sizes(self):
+        config = HgPCNConfig.for_task(input_size=4096)
+        assert config.preprocessing.num_samples == 4096
+        assert config.inference.num_centroids == 1024
+
+    def test_nested_defaults(self):
+        config = HgPCNConfig()
+        assert isinstance(config.preprocessing, PreprocessingConfig)
+        assert isinstance(config.inference, InferenceEngineConfig)
+        assert isinstance(config.system, SystemConfig)

@@ -1,0 +1,93 @@
+"""Unit tests for point cloud frame I/O (repro.datasets.io)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Frame
+from repro.datasets.io import (
+    load_frame_npz,
+    load_frame_ply,
+    load_frame_xyz,
+    save_frame_npz,
+    save_frame_ply,
+    save_frame_xyz,
+)
+from repro.geometry.pointcloud import PointCloud
+
+
+@pytest.fixture
+def frame(lidar_cloud):
+    labels = np.arange(lidar_cloud.num_points) % 3
+    return Frame(
+        cloud=lidar_cloud, frame_id="io.test.0", timestamp=1.25, labels=labels
+    )
+
+
+class TestNPZ:
+    def test_roundtrip_preserves_everything(self, frame, tmp_path):
+        path = save_frame_npz(frame, tmp_path / "frame.npz")
+        loaded = load_frame_npz(path)
+        assert loaded.frame_id == frame.frame_id
+        assert loaded.timestamp == pytest.approx(frame.timestamp)
+        assert np.allclose(loaded.cloud.points, frame.cloud.points)
+        assert np.allclose(loaded.cloud.features, frame.cloud.features)
+        assert np.array_equal(loaded.labels, frame.labels)
+
+    def test_roundtrip_without_optional_fields(self, tmp_path, rng):
+        bare = Frame(
+            cloud=PointCloud(points=rng.uniform(size=(10, 3))), frame_id="bare"
+        )
+        loaded = load_frame_npz(save_frame_npz(bare, tmp_path / "bare.npz"))
+        assert loaded.cloud.features is None
+        assert loaded.labels is None
+        assert loaded.timestamp is None
+
+
+class TestPLY:
+    def test_roundtrip_points_and_features(self, frame, tmp_path):
+        path = save_frame_ply(frame, tmp_path / "frame.ply")
+        loaded = load_frame_ply(path)
+        assert loaded.frame_id == frame.frame_id
+        assert np.allclose(loaded.cloud.points, frame.cloud.points, atol=1e-5)
+        assert loaded.cloud.num_feature_channels == frame.cloud.num_feature_channels
+
+    def test_header_is_valid_ply(self, frame, tmp_path):
+        path = save_frame_ply(frame, tmp_path / "frame.ply")
+        text = path.read_text().splitlines()
+        assert text[0] == "ply"
+        assert any(line.startswith("element vertex") for line in text[:10])
+
+    def test_rejects_non_ply(self, tmp_path):
+        bogus = tmp_path / "not.ply"
+        bogus.write_text("hello\nworld\n")
+        with pytest.raises(ValueError):
+            load_frame_ply(bogus)
+
+    def test_rejects_truncated_vertices(self, frame, tmp_path):
+        path = save_frame_ply(frame, tmp_path / "frame.ply")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-10]) + "\n")
+        with pytest.raises(ValueError):
+            load_frame_ply(path)
+
+
+class TestXYZ:
+    def test_roundtrip(self, frame, tmp_path):
+        path = save_frame_xyz(frame, tmp_path / "frame.xyz")
+        loaded = load_frame_xyz(path, frame_id="from_xyz")
+        assert loaded.frame_id == "from_xyz"
+        assert np.allclose(loaded.cloud.points, frame.cloud.points, atol=1e-5)
+
+    def test_rejects_too_few_columns(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        np.savetxt(path, np.ones((5, 2)))
+        with pytest.raises(ValueError):
+            load_frame_xyz(path)
+
+    def test_loaded_frame_runs_through_pipeline(self, frame, tmp_path):
+        """Loaded data drops straight into the sampling stage."""
+        from repro.sampling.ois import OctreeIndexedSampler
+
+        loaded = load_frame_xyz(save_frame_xyz(frame, tmp_path / "frame.xyz"))
+        result = OctreeIndexedSampler(seed=0).sample(loaded.cloud, 64)
+        assert result.num_samples == 64

@@ -1,0 +1,49 @@
+"""Unit tests for the k-d-tree gathering baseline."""
+
+import numpy as np
+import pytest
+
+from repro.datastructuring.base import pick_random_centroids
+from repro.datastructuring.kdtree import KDTreeGatherer
+from repro.datastructuring.knn import BruteForceKNN
+
+
+class TestKDTree:
+    def test_exactly_matches_bruteforce_sets(self, small_cloud):
+        centroids = pick_random_centroids(small_cloud, 10, seed=2)
+        kd = KDTreeGatherer(leaf_size=8).gather(small_cloud, centroids, neighbors=6)
+        bf = BruteForceKNN().gather(small_cloud, centroids, neighbors=6)
+        for kd_row, bf_row, centroid in zip(
+            kd.neighbor_indices, bf.neighbor_indices, centroids
+        ):
+            # Compare by distance multiset (ties can swap identities).
+            d_kd = sorted(
+                ((small_cloud.points[kd_row] - small_cloud.points[centroid]) ** 2).sum(1)
+            )
+            d_bf = sorted(
+                ((small_cloud.points[bf_row] - small_cloud.points[centroid]) ** 2).sum(1)
+            )
+            assert np.allclose(d_kd, d_bf)
+
+    def test_visits_fewer_points_than_bruteforce(self, medium_cloud):
+        centroids = pick_random_centroids(medium_cloud, 16, seed=3)
+        kd = KDTreeGatherer(leaf_size=16).gather(medium_cloud, centroids, neighbors=8)
+        bf = BruteForceKNN().gather(medium_cloud, centroids, neighbors=8)
+        assert (
+            kd.counters.distance_computations < bf.counters.distance_computations
+        )
+
+    def test_counts_node_visits(self, medium_cloud):
+        centroids = pick_random_centroids(medium_cloud, 4, seed=0)
+        kd = KDTreeGatherer().gather(medium_cloud, centroids, neighbors=4)
+        assert kd.counters.node_visits > 0
+
+    def test_leaf_size_validation(self):
+        with pytest.raises(ValueError):
+            KDTreeGatherer(leaf_size=0)
+
+    def test_neighbor_shapes(self, small_cloud):
+        centroids = np.array([1, 2, 3])
+        result = KDTreeGatherer().gather(small_cloud, centroids, neighbors=5)
+        assert result.neighbor_indices.shape == (3, 5)
+        assert result.method == "kdtree"

@@ -1,0 +1,52 @@
+"""Smoke tests: the runnable examples execute and print their key results.
+
+Only the fast examples are executed end-to-end; the longer, sweep-style ones
+are checked for importability and a ``main`` entry point so a broken import
+or API drift is still caught by the test suite.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart.py",
+        "compare_samplers.py",
+        "accelerator_comparison.py",
+        "kitti_realtime_service.py",
+    ],
+)
+def test_examples_define_main(name):
+    module = load_example(name)
+    assert hasattr(module, "main") or hasattr(module, "functional_sequence")
+
+
+def test_quickstart_runs(capsys):
+    module = load_example("quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "down-sampled" in out
+    assert "total" in out
+
+
+def test_accelerator_comparison_runs(capsys):
+    module = load_example("accelerator_comparison.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "KITTI" in out and "vs HgPCN" in out

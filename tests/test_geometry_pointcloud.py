@@ -1,0 +1,92 @@
+"""Unit tests for repro.geometry.pointcloud."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.pointcloud import PointCloud
+
+
+class TestConstruction:
+    def test_basic_shape(self, small_cloud):
+        assert small_cloud.num_points == 200
+        assert small_cloud.points.shape == (200, 3)
+        assert not small_cloud.has_features
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            PointCloud(points=np.zeros((5, 2)))
+
+    def test_rejects_mismatched_features(self):
+        with pytest.raises(ValueError):
+            PointCloud(points=np.zeros((5, 3)), features=np.zeros((4, 2)))
+
+    def test_feature_channels(self, featured_cloud):
+        assert featured_cloud.num_feature_channels == 4
+        assert featured_cloud.has_features
+
+    def test_empty_constructor(self):
+        cloud = PointCloud.empty()
+        assert cloud.num_points == 0
+        assert not cloud.has_features
+        cloud_f = PointCloud.empty(num_feature_channels=3)
+        assert cloud_f.num_feature_channels == 3
+
+    def test_len_and_iter(self, small_cloud):
+        assert len(small_cloud) == 200
+        first = next(iter(small_cloud))
+        assert first.shape == (3,)
+
+
+class TestGeometry:
+    def test_bounds_contains_all_points(self, medium_cloud):
+        box = medium_cloud.bounds()
+        assert box.contains(medium_cloud.points).all()
+
+    def test_bounds_cached_identity(self, small_cloud):
+        assert small_cloud.bounds() is small_cloud.bounds()
+
+    def test_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            PointCloud.empty().bounds()
+
+    def test_normalized_unit_cube(self, medium_cloud):
+        normalized = medium_cloud.normalized()
+        assert normalized.points.min() >= 0.0
+        assert normalized.points.max() <= 1.0
+        assert normalized.num_points == medium_cloud.num_points
+
+    def test_normalized_degenerate_axis(self):
+        # All z equal: the degenerate axis maps to 0.5.
+        points = np.column_stack(
+            [np.linspace(0, 1, 10), np.linspace(0, 2, 10), np.zeros(10)]
+        )
+        normalized = PointCloud(points=points).normalized()
+        assert np.allclose(normalized.points[:, 2], 0.5)
+
+    def test_centroid(self):
+        points = np.array([[0.0, 0.0, 0.0], [2.0, 4.0, 6.0]])
+        assert np.allclose(PointCloud(points=points).centroid(), [1.0, 2.0, 3.0])
+
+    def test_select_preserves_order_and_features(self, featured_cloud):
+        indices = [5, 2, 9]
+        sub = featured_cloud.select(indices)
+        assert np.allclose(sub.points, featured_cloud.points[indices])
+        assert np.allclose(sub.features, featured_cloud.features[indices])
+
+    def test_concatenate(self, small_cloud):
+        merged = small_cloud.concatenate(small_cloud)
+        assert merged.num_points == 2 * small_cloud.num_points
+
+    def test_concatenate_feature_mismatch(self, small_cloud, featured_cloud):
+        with pytest.raises(ValueError):
+            small_cloud.concatenate(featured_cloud)
+
+    def test_memory_bytes(self, featured_cloud):
+        # 300 points x (3 coords + 4 features) x 4 bytes
+        assert featured_cloud.memory_bytes() == 300 * 7 * 4
+
+    def test_with_features(self, small_cloud, rng):
+        features = rng.normal(size=(small_cloud.num_points, 2))
+        enriched = small_cloud.with_features(features)
+        assert enriched.num_feature_channels == 2
+        assert not small_cloud.has_features

@@ -1,0 +1,52 @@
+"""Unit tests for repro.geometry.sfc."""
+
+import numpy as np
+
+from repro.geometry.morton import morton_encode_points
+from repro.geometry.sfc import is_sfc_ordered, sfc_argsort, sfc_order_key, sfc_sorted
+
+
+def test_argsort_produces_nondecreasing_codes(medium_cloud):
+    box = medium_cloud.bounds().as_cube()
+    order = sfc_argsort(medium_cloud.points, box, depth=5)
+    codes = morton_encode_points(medium_cloud.points, box, 5)[order]
+    assert np.all(codes[:-1] <= codes[1:])
+
+
+def test_argsort_is_permutation(medium_cloud):
+    box = medium_cloud.bounds().as_cube()
+    order = sfc_argsort(medium_cloud.points, box, depth=5)
+    assert sorted(order.tolist()) == list(range(medium_cloud.num_points))
+
+
+def test_sorted_wrapper_matches_argsort(small_cloud):
+    box = small_cloud.bounds().as_cube()
+    by_index = small_cloud.points[sfc_argsort(small_cloud.points, box, 4)]
+    assert np.allclose(by_index, sfc_sorted(small_cloud.points, box, 4))
+
+
+def test_is_sfc_ordered(small_cloud):
+    box = small_cloud.bounds().as_cube()
+    assert not is_sfc_ordered(small_cloud.points, box, 6) or small_cloud.num_points < 2
+    reordered = sfc_sorted(small_cloud.points, box, 6)
+    assert is_sfc_ordered(reordered, box, 6)
+
+
+def test_stable_order_within_voxel():
+    # Two identical points share a voxel; stable sort keeps their order.
+    points = np.array([[0.5, 0.5, 0.5], [0.5, 0.5, 0.5], [0.1, 0.1, 0.1]])
+    from repro.geometry.bbox import AxisAlignedBox
+
+    box = AxisAlignedBox(minimum=[0, 0, 0], maximum=[1, 1, 1])
+    order = sfc_argsort(points, box, 2)
+    first_dup = list(order).index(0)
+    second_dup = list(order).index(1)
+    assert first_dup < second_dup
+
+
+def test_order_key_matches_morton(small_cloud):
+    box = small_cloud.bounds().as_cube()
+    assert np.array_equal(
+        sfc_order_key(small_cloud.points, box, 3),
+        morton_encode_points(small_cloud.points, box, 3),
+    )

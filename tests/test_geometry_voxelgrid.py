@@ -1,0 +1,77 @@
+"""Unit tests for repro.geometry.voxelgrid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.voxelgrid import VoxelGrid, suggest_depth
+
+
+class TestVoxelGrid:
+    def test_every_point_bucketed_once(self, medium_cloud):
+        grid = VoxelGrid.build(medium_cloud, depth=4)
+        total = sum(len(grid.points_in_voxel(c)) for c in grid.occupied_codes())
+        assert total == medium_cloud.num_points
+
+    def test_voxel_of_point_consistent_with_buckets(self, small_cloud):
+        grid = VoxelGrid.build(small_cloud, depth=3)
+        for index in range(small_cloud.num_points):
+            code = grid.voxel_of_point(index)
+            assert index in grid.points_in_voxel(code)
+
+    def test_points_in_empty_voxel(self, small_cloud):
+        grid = VoxelGrid.build(small_cloud, depth=6)
+        all_codes = set(int(c) for c in grid.occupied_codes())
+        empty_code = next(c for c in range(grid.resolution**3) if c not in all_codes)
+        assert grid.points_in_voxel(empty_code).size == 0
+
+    def test_occupancy_histogram_sums_to_points(self, medium_cloud):
+        grid = VoxelGrid.build(medium_cloud, depth=4)
+        assert sum(grid.occupancy_histogram().values()) == medium_cloud.num_points
+
+    def test_resolution(self, small_cloud):
+        assert VoxelGrid.build(small_cloud, depth=5).resolution == 32
+
+    def test_shell_codes_radius_zero(self, medium_cloud):
+        grid = VoxelGrid.build(medium_cloud, depth=4)
+        code = int(grid.occupied_codes()[0])
+        assert grid.shell_codes(code, 0) == [code]
+
+    def test_shell_codes_disjoint_and_occupied(self, medium_cloud):
+        grid = VoxelGrid.build(medium_cloud, depth=4)
+        code = int(grid.occupied_codes()[len(grid.occupied_codes()) // 2])
+        shells = [set(grid.shell_codes(code, r)) for r in range(3)]
+        # Shells are pairwise disjoint.
+        assert not (shells[0] & shells[1])
+        assert not (shells[1] & shells[2])
+        occupied = set(int(c) for c in grid.occupied_codes())
+        for shell in shells:
+            assert shell <= occupied
+
+    def test_shell_negative_radius_rejected(self, small_cloud):
+        grid = VoxelGrid.build(small_cloud, depth=3)
+        with pytest.raises(ValueError):
+            grid.shell_codes(0, -1)
+
+    def test_points_in_shells_cover_neighborhood(self, medium_cloud):
+        grid = VoxelGrid.build(medium_cloud, depth=3)
+        code = grid.voxel_of_point(0)
+        gathered = []
+        for _radius, indices in grid.points_in_shells(code, max_radius=grid.resolution):
+            gathered.extend(indices.tolist())
+        assert sorted(gathered) == list(range(medium_cloud.num_points))
+
+    def test_cell_size(self, small_cloud):
+        grid = VoxelGrid.build(small_cloud, depth=2)
+        assert np.allclose(grid.cell_size(), grid.box.size / 4)
+
+
+class TestSuggestDepth:
+    def test_monotone_in_points(self):
+        assert suggest_depth(1000) <= suggest_depth(100000) <= suggest_depth(10000000)
+
+    def test_small_cloud_shallow(self):
+        assert suggest_depth(64) <= 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            suggest_depth(0)

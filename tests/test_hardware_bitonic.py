@@ -1,0 +1,76 @@
+"""Unit and property tests for the bitonic sorter model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.bitonic import (
+    BitonicSorter,
+    bitonic_merge_comparisons,
+    bitonic_sort,
+    bitonic_sort_comparisons,
+)
+
+
+class TestComparisonCounts:
+    def test_known_values(self):
+        # n/4 * log2(n) * (log2(n)+1)
+        assert bitonic_sort_comparisons(2) == 1
+        assert bitonic_sort_comparisons(4) == 6
+        assert bitonic_sort_comparisons(8) == 24
+        assert bitonic_sort_comparisons(1024) == 256 * 10 * 11
+
+    def test_padding_to_power_of_two(self):
+        assert bitonic_sort_comparisons(1000) == bitonic_sort_comparisons(1024)
+
+    def test_merge_cheaper_than_sort(self):
+        assert bitonic_merge_comparisons(1024) < bitonic_sort_comparisons(1024)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bitonic_sort_comparisons(0)
+
+    def test_superlinear_growth(self):
+        """The full-input sort workload grows faster than linearly, which is
+        what makes PointACC's per-centroid full sort fall behind VEG as the
+        input size grows (Figure 15)."""
+        small = bitonic_sort_comparisons(1024) / 1024
+        large = bitonic_sort_comparisons(16384) / 16384
+        assert large > small
+
+
+class TestFunctionalSort:
+    def test_sorts_ascending(self):
+        values = [5.0, 1.0, 4.0, 2.0, 3.0]
+        assert list(bitonic_sort(values)) == sorted(values)
+
+    def test_sorts_descending(self):
+        values = [5.0, 1.0, 4.0, 2.0]
+        assert list(bitonic_sort(values, descending=True)) == sorted(values, reverse=True)
+
+    def test_empty(self):
+        assert bitonic_sort([]).size == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=33))
+    def test_property_matches_sorted(self, values):
+        assert np.allclose(bitonic_sort(values), np.sort(np.asarray(values, dtype=np.float64)))
+
+
+class TestHardwareSorter:
+    def test_cycles_scale_with_comparators(self):
+        wide = BitonicSorter(comparators=32)
+        narrow = BitonicSorter(comparators=8)
+        assert wide.cycles_to_sort(4096) < narrow.cycles_to_sort(4096)
+
+    def test_seconds_scale_with_frequency(self):
+        fast = BitonicSorter(comparators=16, frequency_hz=2e9)
+        slow = BitonicSorter(comparators=16, frequency_hz=1e9)
+        assert fast.seconds_to_sort(4096) == pytest.approx(slow.seconds_to_sort(4096) / 2)
+
+    def test_batches(self):
+        sorter = BitonicSorter(comparators=16)
+        assert sorter.cycles_for_batches([100, 100]) == 2 * sorter.cycles_to_sort(100)
+        assert sorter.cycles_for_batches([]) == 0
+        assert sorter.cycles_for_batches([0, -5]) == 0

@@ -1,0 +1,91 @@
+"""Unit tests for the Data Structuring Unit pipeline model (Figure 8/16)."""
+
+import pytest
+
+from repro.datastructuring.base import pick_random_centroids
+from repro.datastructuring.veg import VEGRunStats, VEGStageStats, VoxelExpandedGatherer
+from repro.hardware.dsu import DSU_STAGES, DataStructuringUnit
+
+
+def make_stats(last_shell: int = 60, inner: int = 10, voxels: int = 27) -> VEGStageStats:
+    return VEGStageStats(
+        expansions=2,
+        inner_points=inner,
+        last_shell_points=last_shell,
+        sorted_candidates=last_shell,
+        voxels_visited=voxels,
+    )
+
+
+class TestStageModel:
+    def test_all_stages_present(self):
+        dsu = DataStructuringUnit()
+        cycles = dsu.stage_cycles_for_centroid(make_stats(), neighbors=32)
+        assert set(cycles.keys()) == set(DSU_STAGES)
+        assert all(c >= 1 for c in cycles.values())
+
+    def test_sort_stage_dominates_for_large_shells(self):
+        dsu = DataStructuringUnit()
+        cycles = dsu.stage_cycles_for_centroid(make_stats(last_shell=500), neighbors=32)
+        assert cycles["ST"] == max(cycles.values())
+
+    def test_semi_approximate_sort_stage_trivial(self):
+        dsu = DataStructuringUnit()
+        stats = make_stats()
+        stats.sorted_candidates = 0
+        cycles = dsu.stage_cycles_for_centroid(stats, neighbors=32)
+        assert cycles["ST"] == 1
+
+    def test_breakdown_aggregates_centroids(self):
+        dsu = DataStructuringUnit()
+        run = VEGRunStats(per_centroid=[make_stats()] * 10)
+        breakdown = dsu.breakdown_for_run(run, neighbors=32)
+        single = dsu.stage_cycles_for_centroid(make_stats(), neighbors=32)
+        assert breakdown.cycles["ST"] == 10 * single["ST"]
+        assert breakdown.total_cycles() == 10 * sum(single.values())
+
+    def test_pipelined_cycles_bounded_by_total(self):
+        dsu = DataStructuringUnit()
+        run = VEGRunStats(per_centroid=[make_stats()] * 50)
+        breakdown = dsu.breakdown_for_run(run, neighbors=32)
+        assert breakdown.pipelined_cycles(50) <= breakdown.total_cycles()
+        assert breakdown.pipelined_cycles(50) >= max(breakdown.cycles.values())
+
+    def test_latency_breakdown_conversion(self):
+        dsu = DataStructuringUnit()
+        run = VEGRunStats(per_centroid=[make_stats()] * 5)
+        breakdown = dsu.breakdown_for_run(run, neighbors=32)
+        latency = breakdown.as_breakdown(frequency_hz=dsu.frequency_hz)
+        assert latency.total_seconds() == pytest.approx(
+            breakdown.total_cycles() / dsu.frequency_hz
+        )
+
+
+class TestRunLatency:
+    def test_measured_stats_from_functional_veg(self, medium_cloud):
+        centroids = pick_random_centroids(medium_cloud, 32, seed=0)
+        result = VoxelExpandedGatherer(seed=0).gather(medium_cloud, centroids, 16)
+        dsu = DataStructuringUnit()
+        seconds = dsu.seconds_for_run(result.info["run_stats"], neighbors=16)
+        assert seconds > 0
+        assert seconds < 1.0  # 32 centroids should take well under a second
+
+    def test_synthetic_stats_match_shape(self):
+        dsu = DataStructuringUnit()
+        run = dsu.synthetic_run_stats(num_centroids=100, neighbors=32)
+        assert len(run.per_centroid) == 100
+        assert run.per_centroid[0].sorted_candidates == int(round(2.5 * 32))
+
+    def test_more_centroids_more_latency(self):
+        dsu = DataStructuringUnit()
+        small = dsu.synthetic_seconds(num_centroids=256, neighbors=32)
+        large = dsu.synthetic_seconds(num_centroids=4096, neighbors=32)
+        assert large > small
+
+    def test_latency_independent_of_input_cloud_size(self):
+        """The key VEG property: DSU latency depends on the shell statistics,
+        not on the input point cloud size (unlike PointACC's full-range sort)."""
+        dsu = DataStructuringUnit()
+        a = dsu.synthetic_seconds(num_centroids=1024, neighbors=32, mean_last_shell=80)
+        b = dsu.synthetic_seconds(num_centroids=1024, neighbors=32, mean_last_shell=80)
+        assert a == b

@@ -1,0 +1,74 @@
+"""Unit tests for post-training quantization (repro.network.quantize)."""
+
+import numpy as np
+import pytest
+
+from repro.network.layers import Dense, SharedMLP
+from repro.network.quantize import (
+    QuantizedDense,
+    QuantizedSharedMLP,
+    quantize_symmetric,
+    quantized_activation_bytes,
+)
+
+
+class TestQuantizeSymmetric:
+    def test_roundtrip_small_error(self, rng):
+        tensor = rng.normal(size=(32, 16))
+        quantized = quantize_symmetric(tensor, num_bits=8)
+        error = np.abs(quantized.dequantized() - tensor).max()
+        assert error <= quantized.scale  # at most one quantization step
+
+    def test_values_within_int8_range(self, rng):
+        quantized = quantize_symmetric(rng.normal(size=(100,)) * 50, num_bits=8)
+        assert quantized.values.max() <= 127
+        assert quantized.values.min() >= -128
+
+    def test_zero_tensor(self):
+        quantized = quantize_symmetric(np.zeros((4, 4)))
+        assert quantized.scale == 1.0
+        assert (quantized.values == 0).all()
+
+    def test_more_bits_less_error(self, rng):
+        tensor = rng.normal(size=(64,))
+        err8 = np.abs(quantize_symmetric(tensor, 8).dequantized() - tensor).mean()
+        err4 = np.abs(quantize_symmetric(tensor, 4).dequantized() - tensor).mean()
+        assert err8 < err4
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.ones(3), num_bits=1)
+
+
+class TestQuantizedLayers:
+    def test_dense_output_close_to_reference(self, rng):
+        layer = Dense(16, 8, name="q.dense")
+        quantized = QuantizedDense(layer)
+        x = rng.normal(size=(20, 16))
+        assert np.abs(quantized(x) - layer(x)).max() < 0.1
+
+    def test_dense_quantization_error_reported(self):
+        layer = Dense(16, 8, name="q.err")
+        assert 0 <= QuantizedDense(layer).quantization_error() < 0.01
+
+    def test_shared_mlp_deviation_small(self, rng):
+        mlp = SharedMLP([3, 16, 32], name="q.mlp")
+        quantized = QuantizedSharedMLP(mlp)
+        x = rng.normal(size=(50, 3))
+        assert quantized.max_output_deviation(x) < 0.2
+
+    def test_activation_bytes(self):
+        assert quantized_activation_bytes(8) == 1
+        assert quantized_activation_bytes(16) == 2
+
+    def test_int8_fcu_streams_less_data(self):
+        """The FCU's streaming term shrinks with int8 activations."""
+        from repro.hardware.fcu import FeatureComputationUnit
+        from repro.network.workload import synthetic_pointnet2_workload
+
+        workload = synthetic_pointnet2_workload(4096, task="semantic_segmentation")
+        fp32 = FeatureComputationUnit(buffer_bandwidth=1e9, bytes_per_activation=4)
+        int8 = FeatureComputationUnit(
+            buffer_bandwidth=1e9, bytes_per_activation=quantized_activation_bytes(8)
+        )
+        assert int8.seconds_for_workload(workload) < fp32.seconds_for_workload(workload)

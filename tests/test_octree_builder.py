@@ -1,0 +1,117 @@
+"""Unit tests for repro.octree.builder and repro.octree.node."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.morton import morton_encode_points
+from repro.geometry.pointcloud import PointCloud
+from repro.octree.builder import Octree
+
+
+class TestBuild:
+    def test_all_points_stored_exactly_once(self, medium_cloud):
+        octree = Octree.build(medium_cloud, depth=4)
+        stored = np.concatenate(
+            [leaf.point_indices for leaf in octree.leaves_in_sfc_order()]
+        )
+        assert sorted(stored.tolist()) == list(range(medium_cloud.num_points))
+
+    def test_leaf_codes_match_point_codes(self, small_cloud):
+        octree = Octree.build(small_cloud, depth=3)
+        for leaf in octree.leaves_in_sfc_order():
+            for index in leaf.point_indices:
+                assert octree.point_codes[index] == leaf.code
+
+    def test_leaf_boxes_contain_their_points(self, small_cloud):
+        octree = Octree.build(small_cloud, depth=3)
+        for leaf in octree.leaves_in_sfc_order():
+            pts = small_cloud.points[leaf.point_indices]
+            # Allow a tiny tolerance for points exactly on voxel faces that
+            # clipping assigns to the lower-index voxel.
+            assert (pts >= leaf.box.minimum - 1e-9).all()
+            assert (pts <= leaf.box.maximum + 1e-9).all()
+
+    def test_levels_consistent(self, small_cloud):
+        octree = Octree.build(small_cloud, depth=4)
+        for node in octree.root.iter_nodes():
+            if not node.is_leaf:
+                for octant, child in node.children.items():
+                    assert child.level == node.level + 1
+                    assert child.code == (node.code << 3) | octant
+            else:
+                assert node.level == octree.depth
+
+    def test_empty_cloud_rejected(self):
+        with pytest.raises(ValueError):
+            Octree.build(PointCloud.empty(), depth=3)
+
+    def test_single_point_cloud(self):
+        octree = Octree.build(PointCloud(points=np.array([[0.3, 0.7, 0.1]])), depth=4)
+        assert octree.num_leaves == 1
+        assert octree.root.subtree_point_count() == 1
+
+    def test_leaf_of_point(self, medium_cloud):
+        octree = Octree.build(medium_cloud, depth=4)
+        for index in (0, 17, medium_cloud.num_points - 1):
+            leaf = octree.leaf_of_point(index)
+            assert index in leaf.point_indices
+
+    def test_leaf_lookup_by_code(self, small_cloud):
+        octree = Octree.build(small_cloud, depth=3)
+        code = int(octree.leaf_codes[0])
+        assert octree.leaf(code) is not None
+        assert octree.leaf(code).code == code
+
+    def test_sfc_order_is_sorted_by_code(self, medium_cloud):
+        octree = Octree.build(medium_cloud, depth=5)
+        codes = [leaf.code for leaf in octree.leaves_in_sfc_order()]
+        assert codes == sorted(codes)
+
+    def test_points_in_sfc_order_nondecreasing_codes(self, medium_cloud):
+        octree = Octree.build(medium_cloud, depth=5)
+        order = octree.points_in_sfc_order()
+        codes = octree.point_codes[order]
+        assert np.all(codes[:-1] <= codes[1:])
+
+    def test_leaf_center_encodes_back_to_leaf(self, small_cloud):
+        octree = Octree.build(small_cloud, depth=4)
+        for code in octree.leaf_codes[:10]:
+            center = octree.leaf_center(int(code))
+            recomputed = morton_encode_points(center[None, :], octree.box, 4)[0]
+            assert recomputed == code
+
+
+class TestBuildStats:
+    def test_memory_traffic_model(self, medium_cloud):
+        octree = Octree.build(medium_cloud, depth=4)
+        stats = octree.stats
+        assert stats.num_points == medium_cloud.num_points
+        assert stats.host_memory_reads == medium_cloud.num_points
+        # One write per point (reorganised copy) plus one per created node.
+        assert stats.host_memory_writes == medium_cloud.num_points + stats.num_nodes
+        assert stats.num_leaves == octree.num_leaves
+        assert stats.max_leaf_occupancy >= 1
+
+    def test_node_count_matches_traversal(self, small_cloud):
+        octree = Octree.build(small_cloud, depth=3)
+        assert octree.stats.num_nodes == len(list(octree.root.iter_nodes()))
+
+    def test_deeper_tree_more_leaves(self, medium_cloud):
+        shallow = Octree.build(medium_cloud, depth=3)
+        deep = Octree.build(medium_cloud, depth=6)
+        assert deep.num_leaves >= shallow.num_leaves
+
+
+class TestNonUniformity:
+    def test_clustered_cloud_more_non_uniform_than_uniform(self, rng):
+        from repro.datasets.synthetic import gaussian_clusters, uniform_cube
+
+        uniform = Octree.build(uniform_cube(2000, seed=1), depth=4)
+        clustered = Octree.build(
+            gaussian_clusters(2000, num_clusters=3, seed=1), depth=4
+        )
+        assert clustered.non_uniformity() > uniform.non_uniformity()
+
+    def test_occupancy_histogram_total(self, medium_cloud):
+        octree = Octree.build(medium_cloud, depth=4)
+        assert sum(octree.occupancy_histogram().values()) == medium_cloud.num_points

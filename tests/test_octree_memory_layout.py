@@ -1,0 +1,88 @@
+"""Unit tests for repro.octree.memory_layout."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.sfc import is_sfc_ordered
+from repro.octree.builder import Octree
+from repro.octree.memory_layout import HostMemoryLayout
+
+
+@pytest.fixture
+def layout(medium_cloud):
+    octree = Octree.build(medium_cloud, depth=4)
+    return HostMemoryLayout.from_octree(octree)
+
+
+class TestPermutation:
+    def test_slot_mapping_is_a_permutation(self, layout):
+        assert sorted(layout.slot_to_original.tolist()) == list(range(layout.num_points))
+
+    def test_inverse_mapping(self, layout):
+        for original in (0, 5, layout.num_points - 1):
+            slot = layout.slot_of_original(original)
+            assert layout.slot_to_original[slot] == original
+
+    def test_reordered_points_follow_sfc_order(self, layout):
+        assert is_sfc_ordered(
+            layout.reordered_points, layout.octree.box, layout.octree.depth
+        )
+
+    def test_reordered_copy_preserves_multiset(self, layout, medium_cloud):
+        assert np.allclose(
+            np.sort(layout.reordered_points, axis=0),
+            np.sort(medium_cloud.points, axis=0),
+        )
+
+
+class TestAddresses:
+    def test_consecutive_slots_consecutive_addresses(self, layout):
+        step = layout.address_of_slot(1) - layout.address_of_slot(0)
+        assert step == layout.bytes_per_point
+
+    def test_out_of_range_slot(self, layout):
+        with pytest.raises(IndexError):
+            layout.address_of_slot(layout.num_points)
+
+    def test_address_of_original_consistent(self, layout):
+        original = 7
+        assert layout.address_of_original(original) == layout.address_of_slot(
+            layout.slot_of_original(original)
+        )
+
+    def test_leaf_slot_range_contains_leaf_points(self, layout):
+        octree = layout.octree
+        leaf = octree.leaves_in_sfc_order()[0]
+        start, end = layout.leaf_slot_range(leaf.code)
+        slots = {layout.slot_of_original(int(i)) for i in leaf.point_indices}
+        assert slots == set(range(start, end))
+
+    def test_leaf_slot_range_unknown_code(self, layout):
+        with pytest.raises(KeyError):
+            layout.leaf_slot_range(-123)
+
+
+class TestReads:
+    def test_read_original_matches_cloud(self, layout, medium_cloud):
+        indices = np.array([0, 10, 100])
+        assert np.allclose(layout.read_original(indices), medium_cloud.points[indices])
+
+    def test_read_slots_matches_reordered(self, layout):
+        slots = np.array([3, 1, 2])
+        assert np.allclose(layout.read_slots(slots), layout.reordered_points[slots])
+
+    def test_as_point_cloud_roundtrip(self, layout, medium_cloud):
+        copy = layout.as_point_cloud()
+        assert copy.num_points == medium_cloud.num_points
+
+    def test_total_bytes(self, layout):
+        assert layout.total_bytes() == layout.num_points * layout.bytes_per_point
+
+    def test_features_reordered_with_points(self, featured_cloud):
+        octree = Octree.build(featured_cloud, depth=3)
+        layout = HostMemoryLayout.from_octree(octree)
+        slot = 5
+        original = int(layout.slot_to_original[slot])
+        assert np.allclose(
+            layout.reordered_features[slot], featured_cloud.features[original]
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for repro.octree.neighbors."""
+
+import pytest
+
+from repro.geometry.morton import morton_decode, morton_encode
+from repro.octree.neighbors import (
+    chebyshev_distance,
+    codes_within_radius,
+    face_neighbor,
+    filter_occupied,
+    neighbor_codes,
+    neighbor_codes_at_radius,
+)
+
+
+class TestNeighborCodes:
+    def test_interior_voxel_has_26_neighbors(self):
+        depth = 3
+        code = morton_encode(3, 3, 3, depth)
+        assert len(neighbor_codes(code, depth)) == 26
+
+    def test_corner_voxel_has_7_neighbors(self):
+        depth = 3
+        code = morton_encode(0, 0, 0, depth)
+        assert len(neighbor_codes(code, depth)) == 7
+
+    def test_face_only_neighbors(self):
+        depth = 3
+        code = morton_encode(3, 3, 3, depth)
+        assert len(neighbor_codes(code, depth, include_diagonal=False)) == 6
+
+    def test_all_neighbors_at_chebyshev_one(self):
+        depth = 4
+        code = morton_encode(5, 6, 7, depth)
+        for neighbor in neighbor_codes(code, depth):
+            assert chebyshev_distance(code, neighbor, depth) == 1
+
+    def test_radius_zero_is_self(self):
+        assert neighbor_codes_at_radius(42, 3, 0) == [42]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            neighbor_codes_at_radius(0, 3, -1)
+
+    def test_shell_sizes_interior(self):
+        depth = 4
+        code = morton_encode(8, 8, 8, depth)
+        # Shell at radius r has (2r+1)^3 - (2r-1)^3 voxels when fully interior.
+        assert len(neighbor_codes_at_radius(code, depth, 2)) == 5**3 - 3**3
+
+    def test_shells_are_disjoint(self):
+        depth = 4
+        code = morton_encode(8, 8, 8, depth)
+        shell1 = set(neighbor_codes_at_radius(code, depth, 1))
+        shell2 = set(neighbor_codes_at_radius(code, depth, 2))
+        assert not shell1 & shell2
+
+
+class TestFaceNeighbor:
+    def test_roundtrip(self):
+        depth = 3
+        code = morton_encode(2, 3, 4, depth)
+        right = face_neighbor(code, depth, axis=0, direction=1)
+        assert morton_decode(right, depth) == (3, 3, 4)
+        assert face_neighbor(right, depth, axis=0, direction=-1) == code
+
+    def test_boundary_returns_none(self):
+        depth = 3
+        code = morton_encode(0, 0, 0, depth)
+        assert face_neighbor(code, depth, axis=0, direction=-1) is None
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            face_neighbor(0, 3, axis=3, direction=1)
+        with pytest.raises(ValueError):
+            face_neighbor(0, 3, axis=0, direction=0)
+
+
+class TestHelpers:
+    def test_codes_within_radius_count(self):
+        depth = 4
+        code = morton_encode(8, 8, 8, depth)
+        assert len(codes_within_radius(code, depth, 1)) == 27
+
+    def test_filter_occupied(self):
+        assert filter_occupied([1, 2, 3, 4], occupied=[2, 4, 6]) == [2, 4]
+
+    def test_chebyshev_distance_symmetric(self):
+        depth = 4
+        a = morton_encode(1, 2, 3, depth)
+        b = morton_encode(7, 0, 3, depth)
+        assert chebyshev_distance(a, b, depth) == chebyshev_distance(b, a, depth) == 6

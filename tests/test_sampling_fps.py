@@ -1,0 +1,103 @@
+"""Unit tests for repro.sampling.fps (the Algorithm 1 baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.fps import FarthestPointSampler, fps_counter_model
+from repro.sampling.random_sampling import RandomSampler
+
+
+class TestFunctional:
+    def test_returns_requested_count_unique(self, medium_cloud):
+        result = FarthestPointSampler(seed=0).sample(medium_cloud, 64)
+        assert result.num_samples == 64
+        assert len(set(result.indices.tolist())) == 64
+
+    def test_indices_in_range(self, medium_cloud):
+        result = FarthestPointSampler().sample(medium_cloud, 32)
+        assert result.indices.min() >= 0
+        assert result.indices.max() < medium_cloud.num_points
+
+    def test_deterministic_given_seed(self, medium_cloud):
+        a = FarthestPointSampler(seed=3).sample(medium_cloud, 32)
+        b = FarthestPointSampler(seed=3).sample(medium_cloud, 32)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_validation_errors(self, small_cloud):
+        sampler = FarthestPointSampler()
+        with pytest.raises(ValueError):
+            sampler.sample(small_cloud, 0)
+        with pytest.raises(ValueError):
+            sampler.sample(small_cloud, small_cloud.num_points + 1)
+
+    def test_spreads_better_than_random(self, medium_cloud):
+        """FPS maximises the minimum pairwise distance; random does not."""
+        fps = FarthestPointSampler(seed=0).sample(medium_cloud, 48)
+        rnd = RandomSampler(seed=0).sample(medium_cloud, 48)
+        assert fps.min_pairwise_distance() > rnd.min_pairwise_distance()
+
+    def test_coverage_better_than_random(self, medium_cloud):
+        """FPS leaves no input point far from a sample (low coverage radius)."""
+        fps = FarthestPointSampler(seed=0).sample(medium_cloud, 48)
+        rnd = RandomSampler(seed=0).sample(medium_cloud, 48)
+        assert fps.coverage_radius(medium_cloud) <= rnd.coverage_radius(medium_cloud)
+
+    def test_greedy_farthest_property(self):
+        """Each pick is the farthest point from the already-picked set."""
+        rng = np.random.default_rng(0)
+        from repro.geometry.pointcloud import PointCloud
+
+        cloud = PointCloud(points=rng.uniform(0, 1, size=(60, 3)))
+        result = FarthestPointSampler(seed=1).sample(cloud, 10)
+        picked = result.indices
+        for k in range(1, len(picked)):
+            chosen = picked[k]
+            prior = cloud.points[picked[:k]]
+            dist_all = np.sqrt(
+                ((cloud.points[:, None, :] - prior[None, :, :]) ** 2).sum(-1)
+            ).min(axis=1)
+            # The chosen point attains the maximum distance-to-set.
+            assert dist_all[chosen] == pytest.approx(dist_all.max())
+
+
+class TestCounterModel:
+    def test_scaling_in_n_and_k(self):
+        base = fps_counter_model(10_000, 512)
+        double_n = fps_counter_model(20_000, 512)
+        double_k = fps_counter_model(10_000, 1024)
+        assert double_n.total_host_memory_accesses() == pytest.approx(
+            2 * base.total_host_memory_accesses(), rel=0.01
+        )
+        assert double_k.total_host_memory_accesses() == pytest.approx(
+            2 * base.total_host_memory_accesses(), rel=0.01
+        )
+
+    def test_distance_computations(self):
+        counters = fps_counter_model(1000, 10)
+        assert counters.distance_computations == 10 * 1000
+
+    def test_memory_accesses_4n_per_iteration(self):
+        counters = fps_counter_model(1000, 10)
+        assert counters.total_host_memory_accesses() == 10 * 4 * 1000 + 10
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            fps_counter_model(0, 10)
+        with pytest.raises(ValueError):
+            fps_counter_model(10, 0)
+
+    def test_count_at_scale_override(self, small_cloud):
+        scaled = FarthestPointSampler(count_at_scale=1_000_000).sample(small_cloud, 16)
+        unscaled = FarthestPointSampler().sample(small_cloud, 16)
+        assert (
+            scaled.counters.total_host_memory_accesses()
+            > unscaled.counters.total_host_memory_accesses()
+        )
+
+    def test_wasted_access_fraction_over_99_percent(self):
+        """The paper's claim: >99% of FPS memory accesses are wasted."""
+        num_points, num_samples = 100_000, 1024
+        counters = fps_counter_model(num_points, num_samples)
+        useful = num_samples  # only the selected points are used afterwards
+        wasted_fraction = 1 - useful / counters.total_host_memory_accesses()
+        assert wasted_fraction > 0.99

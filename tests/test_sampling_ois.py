@@ -1,0 +1,127 @@
+"""Unit tests for repro.sampling.ois (Octree-Indexed Sampling, Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.octree.builder import Octree
+from repro.sampling.fps import fps_counter_model
+from repro.sampling.ois import OctreeIndexedSampler, ois_counter_model
+from repro.sampling.random_sampling import RandomSampler
+
+
+class TestFunctional:
+    def test_returns_requested_count_unique(self, medium_cloud):
+        result = OctreeIndexedSampler(seed=0).sample(medium_cloud, 128)
+        assert result.num_samples == 128
+        assert len(set(result.indices.tolist())) == 128
+
+    def test_indices_valid(self, medium_cloud):
+        result = OctreeIndexedSampler(seed=0).sample(medium_cloud, 64)
+        assert result.indices.min() >= 0
+        assert result.indices.max() < medium_cloud.num_points
+
+    def test_deterministic(self, medium_cloud):
+        a = OctreeIndexedSampler(seed=2).sample(medium_cloud, 50)
+        b = OctreeIndexedSampler(seed=2).sample(medium_cloud, 50)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_can_sample_every_point(self, small_cloud):
+        result = OctreeIndexedSampler(seed=0).sample(
+            small_cloud, small_cloud.num_points
+        )
+        assert sorted(result.indices.tolist()) == list(range(small_cloud.num_points))
+
+    def test_spreads_better_than_random_on_surface_cloud(self, cad_cloud):
+        """OIS approximates FPS: its coverage beats random sampling on the
+        surface-like clouds that point cloud workloads actually consist of."""
+        ois = OctreeIndexedSampler(seed=0).sample(cad_cloud, 64)
+        rnd = RandomSampler(seed=0).sample(cad_cloud, 64)
+        assert ois.coverage_radius(cad_cloud) < rnd.coverage_radius(cad_cloud)
+
+    def test_close_to_fps_coverage(self, cad_cloud):
+        """OIS coverage quality stays within a small factor of exact FPS."""
+        from repro.sampling.fps import FarthestPointSampler
+
+        ois = OctreeIndexedSampler(seed=0).sample(cad_cloud, 64)
+        fps = FarthestPointSampler(seed=0).sample(cad_cloud, 64)
+        assert ois.coverage_radius(cad_cloud) <= 2.0 * fps.coverage_radius(cad_cloud)
+
+    def test_coverage_not_pathological_on_clustered_cloud(self, medium_cloud):
+        """Even on highly clustered data OIS stays in the same range as
+        density-proportional random sampling (exact FPS is strictly better --
+        the voxel approximation can miss isolated outlier points)."""
+        ois = OctreeIndexedSampler(seed=0).sample(medium_cloud, 64)
+        rnd = RandomSampler(seed=0).sample(medium_cloud, 64)
+        assert ois.coverage_radius(medium_cloud) <= 1.5 * rnd.coverage_radius(
+            medium_cloud
+        )
+
+    def test_approximate_mode_runs_and_differs(self, medium_cloud):
+        exact = OctreeIndexedSampler(seed=5, approximate=False).sample(medium_cloud, 64)
+        approx = OctreeIndexedSampler(seed=5, approximate=True).sample(medium_cloud, 64)
+        assert approx.num_samples == exact.num_samples
+        assert approx.info["approximate"] is True
+        # The approximate variant keeps coverage quality close to exact OIS.
+        assert approx.coverage_radius(medium_cloud) <= 2.5 * exact.coverage_radius(
+            medium_cloud
+        )
+
+    def test_prebuilt_octree_reuse_skips_build_cost(self, medium_cloud):
+        octree = Octree.build(medium_cloud, depth=4)
+        fresh = OctreeIndexedSampler(octree_depth=4, seed=0).sample(medium_cloud, 64)
+        reused = OctreeIndexedSampler(octree_depth=4, seed=0).sample(
+            medium_cloud, 64, octree=octree
+        )
+        assert (
+            reused.counters.host_memory_reads < fresh.counters.host_memory_reads
+        )
+        assert np.array_equal(fresh.indices, reused.indices)
+
+    def test_info_reports_octree_shape(self, medium_cloud):
+        result = OctreeIndexedSampler(octree_depth=5, seed=0).sample(medium_cloud, 32)
+        assert result.info["octree_depth"] == 5
+        assert result.info["octree_leaves"] > 0
+        assert result.info["octree_nodes"] >= result.info["octree_leaves"]
+
+    def test_validation(self, small_cloud):
+        with pytest.raises(ValueError):
+            OctreeIndexedSampler().sample(small_cloud, 0)
+        with pytest.raises(ValueError):
+            OctreeIndexedSampler().sample(small_cloud, small_cloud.num_points + 1)
+
+
+class TestCounters:
+    def test_per_sample_host_reads_are_constant(self, medium_cloud):
+        """The OIS walk reads exactly one point from host memory per sample."""
+        result = OctreeIndexedSampler(octree_depth=4, seed=0).sample(medium_cloud, 64)
+        build_reads = medium_cloud.num_points
+        assert result.counters.host_memory_reads == build_reads + 64
+
+    def test_counter_model_memory_saving_vs_fps(self):
+        """Figure 9: orders-of-magnitude fewer host accesses than FPS."""
+        num_points, num_samples = 120_000, 1024
+        fps = fps_counter_model(num_points, num_samples)
+        ois = ois_counter_model(num_points, num_samples, octree_depth=7)
+        saving = fps.total_host_memory_accesses() / ois.total_host_memory_accesses()
+        assert saving > 1000
+
+    def test_counter_model_scaling(self):
+        shallow = ois_counter_model(100_000, 1024, octree_depth=4)
+        deep = ois_counter_model(100_000, 1024, octree_depth=8)
+        assert deep.hamming_ops == 2 * shallow.hamming_ops
+
+    def test_counter_model_without_build(self):
+        with_build = ois_counter_model(50_000, 512, 6, include_build=True)
+        without = ois_counter_model(50_000, 512, 6, include_build=False)
+        assert without.host_memory_reads == 512
+        assert with_build.host_memory_reads == 50_000 + 512
+
+    def test_counter_model_invalid_depth(self):
+        with pytest.raises(ValueError):
+            ois_counter_model(100, 10, octree_depth=0)
+
+    def test_build_scale_override(self, medium_cloud):
+        scaled = OctreeIndexedSampler(
+            octree_depth=4, count_build_at_scale=1_000_000
+        ).sample(medium_cloud, 32)
+        assert scaled.counters.host_memory_reads > 1_000_000

@@ -1,0 +1,86 @@
+"""Unit tests for repro.sampling.random_sampling and voxel_grid_sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.random_sampling import RandomSampler, ReinforcedRandomSampler
+from repro.sampling.voxel_grid_sampling import VoxelGridSampler
+
+
+class TestRandomSampler:
+    def test_count_and_uniqueness(self, medium_cloud):
+        result = RandomSampler(seed=0).sample(medium_cloud, 128)
+        assert result.num_samples == 128
+        assert len(set(result.indices.tolist())) == 128
+
+    def test_deterministic(self, medium_cloud):
+        a = RandomSampler(seed=9).sample(medium_cloud, 64)
+        b = RandomSampler(seed=9).sample(medium_cloud, 64)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_counters_independent_of_input_size(self, small_cloud, medium_cloud):
+        a = RandomSampler().sample(small_cloud, 32)
+        b = RandomSampler().sample(medium_cloud, 32)
+        assert (
+            a.counters.total_host_memory_accesses()
+            == b.counters.total_host_memory_accesses()
+        )
+
+    def test_much_cheaper_than_fps(self, medium_cloud):
+        from repro.sampling.fps import fps_counter_model
+
+        rs = RandomSampler().sample(medium_cloud, 64)
+        fps = fps_counter_model(medium_cloud.num_points, 64)
+        assert (
+            rs.counters.total_host_memory_accesses()
+            < fps.total_host_memory_accesses() / 100
+        )
+
+
+class TestReinforcedRandomSampler:
+    def test_same_indices_as_plain_random(self, medium_cloud):
+        plain = RandomSampler(seed=4).sample(medium_cloud, 64)
+        reinforced = ReinforcedRandomSampler(seed=4).sample(medium_cloud, 64)
+        assert np.array_equal(plain.indices, reinforced.indices)
+
+    def test_extra_encoder_cost(self, medium_cloud):
+        plain = RandomSampler(seed=4).sample(medium_cloud, 64)
+        reinforced = ReinforcedRandomSampler(seed=4).sample(medium_cloud, 64)
+        assert reinforced.counters.mac_ops > plain.counters.mac_ops
+        assert (
+            reinforced.counters.distance_computations
+            > plain.counters.distance_computations
+        )
+
+    def test_records_encoder_decoder_requirement(self, medium_cloud):
+        result = ReinforcedRandomSampler().sample(medium_cloud, 16)
+        assert result.info["requires_encoder_decoder"] is True
+
+
+class TestVoxelGridSampler:
+    def test_count_and_uniqueness(self, medium_cloud):
+        result = VoxelGridSampler().sample(medium_cloud, 100)
+        assert result.num_samples == 100
+        assert len(set(result.indices.tolist())) == 100
+
+    def test_spreads_better_than_random(self, medium_cloud):
+        vg = VoxelGridSampler().sample(medium_cloud, 100)
+        rnd = RandomSampler(seed=1).sample(medium_cloud, 100)
+        assert vg.coverage_radius(medium_cloud) <= rnd.coverage_radius(medium_cloud) * 1.5
+
+    def test_depth_recorded(self, medium_cloud):
+        result = VoxelGridSampler().sample(medium_cloud, 64)
+        assert result.info["depth"] >= 1
+        assert result.info["occupied_voxels"] > 0
+
+    def test_explicit_depth_respected(self, medium_cloud):
+        result = VoxelGridSampler(depth=3).sample(medium_cloud, 16)
+        assert result.info["depth"] >= 3
+
+    def test_single_pass_read_cost(self, medium_cloud):
+        result = VoxelGridSampler().sample(medium_cloud, 64)
+        assert result.counters.host_memory_reads == medium_cloud.num_points
+
+    def test_validation(self, small_cloud):
+        with pytest.raises(ValueError):
+            VoxelGridSampler().sample(small_cloud, 0)
