@@ -11,16 +11,10 @@ and approximate), report:
 * modelled latency on the Xeon CPU profile.
 """
 
+from repro import registry
 from repro.analysis.reporting import format_table
 from repro.datasets import ModelNetLikeDataset
 from repro.hardware.devices import get_device
-from repro.sampling import (
-    FarthestPointSampler,
-    OctreeIndexedSampler,
-    RandomSampler,
-    ReinforcedRandomSampler,
-    VoxelGridSampler,
-)
 
 
 def main() -> None:
@@ -30,19 +24,16 @@ def main() -> None:
     print(f"frame {frame.frame_id}: {cloud.num_points} raw points, "
           f"down-sampling to {num_samples}\n")
 
-    samplers = [
-        FarthestPointSampler(seed=0),
-        RandomSampler(seed=0),
-        ReinforcedRandomSampler(seed=0),
-        VoxelGridSampler(seed=0),
-        OctreeIndexedSampler(seed=0),
-        OctreeIndexedSampler(seed=0, approximate=True),
-    ]
-    labels = ["fps", "random", "random+reinforce", "voxelgrid", "ois", "ois-approx"]
+    # Every down-sampling method the component registry knows about --
+    # registering a new sampler adds its row here automatically.
+    samplers = {
+        name: registry.create("sampler", name, seed=0)
+        for name in registry.available("sampler")
+    }
 
     cpu = get_device("xeon_w2255")
     rows = []
-    for label, sampler in zip(labels, samplers):
+    for label, sampler in samplers.items():
         result = sampler.sample(cloud, num_samples)
         rows.append(
             [

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Quickstart: run the full HgPCN pipeline on one synthetic LiDAR frame.
+"""Quickstart: serve synthetic LiDAR frames through a warm HgPCN Session.
 
 The pipeline mirrors Figure 1(b) of the paper:
 
@@ -10,21 +10,23 @@ The pipeline mirrors Figure 1(b) of the paper:
    Voxel-Expanded-Gathering method and runs a PointNet++ segmentation network
    over the gathered groups.
 
+The Session API keeps the constructed network warm across frames: the first
+frame pays the model build, every later same-shaped frame reuses it.
 Functional outputs (sampled points, per-point class predictions) and the
 modelled hardware latency breakdown are both printed.
 """
 
-from repro import HgPCNConfig, HgPCNSystem
+import numpy as np
+
+from repro import HgPCNConfig, Session
 from repro.core.config import InferenceEngineConfig, PreprocessingConfig
 from repro.datasets import KittiLikeDataset
 
 
 def main() -> None:
-    # A scaled-down KITTI-like frame (a few thousand points) so the example
+    # Scaled-down KITTI-like frames (a few thousand points) so the example
     # runs in seconds; scale=1.0 generates full million-point frames.
-    dataset = KittiLikeDataset(num_frames=1, seed=7, scale=0.005)
-    frame = dataset.generate_frame(0)
-    print(f"raw frame {frame.frame_id}: {frame.num_points} points")
+    dataset = KittiLikeDataset(num_frames=2, seed=7, scale=0.005)
 
     config = HgPCNConfig(
         preprocessing=PreprocessingConfig(num_samples=1024, seed=0),
@@ -32,8 +34,12 @@ def main() -> None:
             num_centroids=256, neighbors_per_centroid=32, seed=0
         ),
     )
-    system = HgPCNSystem(config=config, task="semantic_segmentation")
-    result = system.process_frame(frame)
+    session = Session(config=config, task="semantic_segmentation")
+
+    frame = dataset.generate_frame(0)
+    print(f"raw frame {frame.frame_id}: {frame.num_points} points")
+    response = session.run(frame)
+    result = response.result
 
     pre = result.preprocessing
     print(f"down-sampled to {pre.sampled.num_points} points "
@@ -41,15 +47,23 @@ def main() -> None:
     print(f"octree-table on-chip footprint: {pre.onchip_megabits:.2f} Mb "
           f"(budget {config.system.onchip_memory_megabits:.0f} Mb)")
 
-    labels = result.inference.predicted_labels()
+    labels = response.predicted_labels()
     print(f"inference produced per-point labels for {labels.shape[0]} points; "
-          f"class histogram: {dict(zip(*__import__('numpy').unique(labels, return_counts=True)))}")
+          f"class histogram: {dict(zip(*np.unique(labels, return_counts=True)))}")
 
     print("\nmodelled latency breakdown (seconds):")
     for phase, seconds in result.breakdown.as_dict().items():
         print(f"  {phase:>14}: {seconds * 1e3:8.3f} ms")
     print(f"  {'total':>14}: {result.total_seconds() * 1e3:8.3f} ms "
           f"({1.0 / result.total_seconds():.1f} frames/s capacity)")
+
+    # A second same-shaped frame reuses the warm network instead of
+    # rebuilding it -- the session-vs-one-shot difference.
+    second = session.run(dataset.generate_frame(1))
+    stats = session.stats()
+    print(f"\nsecond frame served {'warm' if second.warm else 'cold'}: "
+          f"{stats['frames_processed']} frames processed with "
+          f"{stats['model_builds']} model build(s)")
 
 
 if __name__ == "__main__":

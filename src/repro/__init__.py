@@ -10,21 +10,26 @@ PointNet++, analytic hardware cost models of the CPU/GPU/FPGA platforms and
 of the PointACC and Mesorasi accelerators, and synthetic datasets with the
 statistics of the paper's four benchmarks.
 
+The serving entry point is the :class:`~repro.session.Session`, which keeps
+constructed networks, gatherers, and samplers warm across frames; components
+are addressed by string names through :mod:`repro.registry`.
+
 Quick start::
 
-    from repro import HgPCNSystem, HgPCNConfig
+    from repro import HgPCNConfig, Session
     from repro.datasets import KittiLikeDataset
 
     dataset = KittiLikeDataset(num_frames=2, scale=0.01)
-    system = HgPCNSystem(config=HgPCNConfig.for_task(input_size=1024),
-                         task="semantic_segmentation")
-    result = system.process_frame(dataset.generate_frame(0))
-    print(result.breakdown.as_dict())
+    session = Session(config=HgPCNConfig.for_task(input_size=1024),
+                      task="semantic_segmentation")
+    response = session.run(dataset.generate_frame(0))
+    print(response.result.breakdown.as_dict())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured comparison of every table and figure.
+See DESIGN.md for the architecture (registry, session, engines) and
+``python benchmarks/run_all.py`` for the paper-vs-measured tables.
 """
 
+from repro import registry
 from repro.core.config import (
     HgPCNConfig,
     InferenceEngineConfig,
@@ -35,11 +40,16 @@ from repro.core.engine import InferenceEngine, PreprocessingEngine
 from repro.core.metrics import LatencyBreakdown, OpCounters
 from repro.core.pipeline import EndToEndResult, HgPCNSystem
 from repro.geometry.pointcloud import PointCloud
+from repro.registry import available, create
+from repro.session import BatchResult, FrameRequest, FrameResponse, Session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchResult",
     "EndToEndResult",
+    "FrameRequest",
+    "FrameResponse",
     "HgPCNConfig",
     "HgPCNSystem",
     "InferenceEngine",
@@ -49,6 +59,10 @@ __all__ = [
     "PointCloud",
     "PreprocessingConfig",
     "PreprocessingEngine",
+    "Session",
     "SystemConfig",
+    "available",
+    "create",
+    "registry",
     "__version__",
 ]

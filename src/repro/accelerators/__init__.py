@@ -11,6 +11,7 @@
   baselines (Figures 3 and 12) and the Jetson comparison of Figure 14.
 """
 
+from repro import registry
 from repro.accelerators.base import (
     GatherLayerSpec,
     InferenceAccelerator,
@@ -22,6 +23,12 @@ from repro.accelerators.gpu import GPUExecutor
 from repro.accelerators.hgpcn import HgPCNInferenceAccelerator
 from repro.accelerators.mesorasi import MesorasiModel
 from repro.accelerators.pointacc import PointACCModel
+
+registry.register("accelerator", "hgpcn", HgPCNInferenceAccelerator)
+registry.register("accelerator", "pointacc", PointACCModel)
+registry.register("accelerator", "mesorasi", MesorasiModel)
+registry.register("accelerator", "gpu", GPUExecutor)
+registry.register("accelerator", "cpu", CPUExecutor)
 
 __all__ = [
     "CPUExecutor",

@@ -16,13 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.accelerators import (
-    GPUExecutor,
-    HgPCNInferenceAccelerator,
-    InferenceWorkloadSpec,
-    MesorasiModel,
-    PointACCModel,
-)
+from repro.accelerators import HgPCNInferenceAccelerator, InferenceWorkloadSpec
 from repro.accelerators.cpu import CPUExecutor
 from repro.analysis.breakdown import e2e_breakdown_for_benchmark
 from repro.analysis.realtime import RealTimeReport, evaluate_realtime
@@ -290,13 +284,36 @@ def figure13_onchip_memory() -> FigureReport:
 # ----------------------------------------------------------------------
 # Figure 14
 # ----------------------------------------------------------------------
-def figure14_inference_speedup() -> FigureReport:
-    """Figure 14: HgPCN inference speedup over the baseline hardware."""
-    hgpcn = HgPCNInferenceAccelerator()
+#: Display names for the registry accelerators in the Figure 14 columns.
+FIGURE14_LABELS: Dict[str, str] = {
+    "gpu": "Jetson NX GPU",
+    "mesorasi": "Mesorasi",
+    "pointacc": "PointACC",
+    "cpu": "Xeon CPU",
+}
+
+
+def figure14_inference_speedup(
+    baseline_names: Optional[Sequence[str]] = None,
+) -> FigureReport:
+    """Figure 14: HgPCN inference speedup over the baseline hardware.
+
+    The baselines are every accelerator the component registry knows about
+    (minus HgPCN itself and the host CPU, which the paper's figure omits);
+    registering a new accelerator model adds its column automatically.
+    """
+    from repro import registry
+
+    hgpcn = registry.create("accelerator", "hgpcn")
+    if baseline_names is None:
+        baseline_names = [
+            name
+            for name in registry.available("accelerator")
+            if name not in ("hgpcn", "cpu")
+        ]
     baselines = {
-        "Jetson NX GPU": GPUExecutor(profile="jetson_xavier_nx"),
-        "Mesorasi": MesorasiModel(),
-        "PointACC": PointACCModel(),
+        FIGURE14_LABELS.get(name, name): registry.create("accelerator", name)
+        for name in baseline_names
     }
     rows = []
     for key in BENCHMARK_ORDER:

@@ -15,13 +15,16 @@ with the metrics the down-sampling literature uses:
   the object's spatial structure survives the down-sampling.
 
 ``compare_samplers`` runs a set of samplers over one cloud and returns all
-three, which the sampling-quality ablation benchmark prints.
+three, which the sampling-quality ablation benchmark prints.  The default
+sampler set is whatever the component registry knows about
+(:func:`registered_samplers`), so a newly registered sampler shows up in the
+quality ablation without touching this module.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -99,15 +102,35 @@ def evaluate_sampling(
     )
 
 
+def registered_samplers(
+    seed: int = 0, include: Optional[Iterable[str]] = None
+) -> Dict[str, Sampler]:
+    """Instantiate registry samplers for a quality comparison.
+
+    ``include`` restricts (and orders) the set; by default every sampler the
+    component registry knows about is constructed with ``seed``.
+    """
+    from repro import registry
+
+    names = list(include) if include is not None else registry.available("sampler")
+    return {name: registry.create("sampler", name, seed=seed) for name in names}
+
+
 def compare_samplers(
     cloud: PointCloud,
-    samplers: Mapping[str, Sampler],
-    num_samples: int,
+    samplers: Optional[Mapping[str, Sampler]] = None,
+    num_samples: int = 1024,
     occupancy_depth: int | None = None,
 ) -> Dict[str, SamplingQuality]:
-    """Evaluate several samplers on the same cloud and sample budget."""
+    """Evaluate several samplers on the same cloud and sample budget.
+
+    ``samplers`` defaults to every registered sampler
+    (:func:`registered_samplers`).
+    """
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
+    if samplers is None:
+        samplers = registered_samplers()
     results: Dict[str, SamplingQuality] = {}
     for label, sampler in samplers.items():
         sampling = sampler.sample(cloud, num_samples)

@@ -1,13 +1,17 @@
 """Command-line interface for the HgPCN reproduction.
 
-Three subcommands cover the common workflows::
+Four subcommands cover the common workflows::
 
     python -m repro.cli figures [--exhibit fig14]   # reproduce tables/figures
-    python -m repro.cli e2e [--dataset kitti] ...   # run the pipeline on one frame
+    python -m repro.cli e2e [--dataset kitti] ...   # run the pipeline on frames
     python -m repro.cli samplers [--points 20000]   # compare down-sampling methods
+    python -m repro.cli components [--kind sampler] # list registered components
 
-The CLI only composes public library APIs; everything it prints can also be
-produced programmatically (see the examples/ directory).
+Pipeline components are addressed by their registry names, so ``e2e`` can
+swap the down-sampler (``--sampler fps``) or the inference platform model
+(``--accelerator pointacc``) without code changes.  The CLI only composes
+public library APIs; everything it prints can also be produced
+programmatically (see the examples/ directory).
 """
 
 from __future__ import annotations
@@ -15,31 +19,23 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
-from repro.analysis.figures import all_reports
-from repro.analysis.quality import compare_samplers, quality_table_rows
+from repro import registry
+from repro.analysis.quality import (
+    compare_samplers,
+    quality_table_rows,
+    registered_samplers,
+)
 from repro.analysis.reporting import format_table
 from repro.core.config import HgPCNConfig, InferenceEngineConfig, PreprocessingConfig
-from repro.core.pipeline import HgPCNSystem
-from repro.datasets import (
-    KittiLikeDataset,
-    ModelNetLikeDataset,
-    S3DISLikeDataset,
-    ShapeNetLikeDataset,
-    get_benchmark,
-)
 from repro.datasets.synthetic import sample_cad_shape
-from repro.sampling import (
-    FarthestPointSampler,
-    OctreeIndexedSampler,
-    RandomSampler,
-    VoxelGridSampler,
-)
+from repro.session import FrameRequest, Session
 
-_DATASETS = {
-    "modelnet40": (ModelNetLikeDataset, "classification"),
-    "shapenet": (ShapeNetLikeDataset, "part_segmentation"),
-    "s3dis": (S3DISLikeDataset, "semantic_segmentation"),
-    "kitti": (KittiLikeDataset, "semantic_segmentation"),
+#: Registry dataset name -> Table I task.
+_DATASET_TASKS = {
+    "modelnet40": "classification",
+    "shapenet": "part_segmentation",
+    "s3dis": "semantic_segmentation",
+    "kitti": "semantic_segmentation",
 }
 
 
@@ -56,19 +52,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="substring filter, e.g. 'fig14' or 'table' (default: all)",
     )
 
-    e2e = sub.add_parser("e2e", help="run the end-to-end pipeline on one frame")
-    e2e.add_argument("--dataset", choices=sorted(_DATASETS), default="kitti")
+    e2e = sub.add_parser("e2e", help="run the end-to-end pipeline on frames")
+    e2e.add_argument(
+        "--dataset", choices=sorted(_DATASET_TASKS), default="kitti"
+    )
     e2e.add_argument("--scale", type=float, default=0.005,
                      help="fraction of the paper-scale raw frame to generate")
     e2e.add_argument("--samples", type=int, default=1024,
                      help="down-sampled input size (default 1024)")
     e2e.add_argument("--neighbors", type=int, default=32)
     e2e.add_argument("--seed", type=int, default=0)
+    e2e.add_argument(
+        "--frames", type=int, default=1,
+        help="number of frames to run through one warm session (default 1)",
+    )
+    e2e.add_argument(
+        "--sampler",
+        choices=registry.available("sampler"),
+        default="ois",
+        help="registered down-sampling method (default: ois)",
+    )
+    e2e.add_argument(
+        "--accelerator",
+        choices=registry.available("accelerator"),
+        default="hgpcn",
+        help="registered inference platform model (default: hgpcn)",
+    )
 
     samplers = sub.add_parser("samplers", help="compare down-sampling methods")
     samplers.add_argument("--points", type=int, default=20_000)
     samplers.add_argument("--samples", type=int, default=1024)
     samplers.add_argument("--seed", type=int, default=0)
+
+    components = sub.add_parser(
+        "components", help="list the registered pipeline components"
+    )
+    components.add_argument(
+        "--kind",
+        choices=list(registry.KINDS),
+        default=None,
+        help="restrict the listing to one component kind",
+    )
     return parser
 
 
@@ -85,9 +109,20 @@ def _run_figures(exhibit: str) -> int:
     return 0
 
 
-def _run_e2e(dataset: str, scale: float, samples: int, neighbors: int, seed: int) -> int:
-    dataset_cls, task = _DATASETS[dataset]
-    frame = dataset_cls(num_frames=1, seed=seed, scale=scale).generate_frame(0)
+def _run_e2e(
+    dataset: str,
+    scale: float,
+    samples: int,
+    neighbors: int,
+    seed: int,
+    num_frames: int = 1,
+    sampler: str = "ois",
+    accelerator: str = "hgpcn",
+) -> int:
+    task = _DATASET_TASKS[dataset]
+    source = registry.create(
+        "dataset", dataset, num_frames=max(1, num_frames), seed=seed, scale=scale
+    )
     config = HgPCNConfig(
         preprocessing=PreprocessingConfig(num_samples=samples, seed=seed),
         inference=InferenceEngineConfig(
@@ -96,17 +131,31 @@ def _run_e2e(dataset: str, scale: float, samples: int, neighbors: int, seed: int
             seed=seed,
         ),
     )
-    system = HgPCNSystem(config=config, task=task)
-    result = system.process_frame(frame)
+    session = Session(
+        config=config, task=task, sampler=sampler, accelerator=accelerator
+    )
+    batch = session.run_batch(
+        [FrameRequest.from_frame(source.generate_frame(i)) for i in range(max(1, num_frames))]
+    )
+    response = batch.responses[0]
+    result = response.result
 
-    spec = get_benchmark(dataset)
+    spec = source.spec
     print(f"benchmark: {spec.name} ({spec.application}, model {spec.model})")
-    print(f"frame {result.frame_id}: {frame.num_points} raw points -> "
+    print(f"pipeline: sampler={sampler} accelerator={accelerator} task={task}")
+    print(f"frame {result.frame_id}: {response.request.cloud.num_points} raw points -> "
           f"{result.preprocessing.sampled.num_points} sampled points")
     print(f"on-chip footprint: {result.preprocessing.onchip_megabits:.2f} Mb")
     rows = [[phase, seconds * 1e3] for phase, seconds in result.breakdown.as_dict().items()]
     rows.append(["total", result.total_seconds() * 1e3])
     print(format_table(["phase", "modelled latency [ms]"], rows))
+    if len(batch) > 1:
+        stats = session.stats()
+        print(
+            f"\nsession: {stats['frames_processed']} frames, "
+            f"{stats['model_builds']} model build(s), "
+            f"{100 * batch.warm_fraction():.0f}% served warm"
+        )
     return 0
 
 
@@ -114,13 +163,7 @@ def _run_samplers(points: int, samples: int, seed: int) -> int:
     cloud = sample_cad_shape(points, shape="box", non_uniformity=0.3, seed=seed)
     qualities = compare_samplers(
         cloud,
-        {
-            "fps": FarthestPointSampler(seed=seed),
-            "random": RandomSampler(seed=seed),
-            "voxelgrid": VoxelGridSampler(seed=seed),
-            "ois": OctreeIndexedSampler(seed=seed),
-            "ois-approx": OctreeIndexedSampler(seed=seed, approximate=True),
-        },
+        registered_samplers(seed=seed),
         num_samples=min(samples, points),
     )
     print(
@@ -133,14 +176,41 @@ def _run_samplers(points: int, samples: int, seed: int) -> int:
     return 0
 
 
+def _run_components(kind: Optional[str]) -> int:
+    kinds = [kind] if kind else list(registry.KINDS)
+    rows = []
+    for k in kinds:
+        for name in registry.available(k):
+            rows.append([k, name, registry.get_factory(k, name).__name__])
+    print(
+        format_table(
+            ["kind", "name", "factory"],
+            rows,
+            title="Registered pipeline components",
+        )
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "figures":
         return _run_figures(args.exhibit)
     if args.command == "e2e":
-        return _run_e2e(args.dataset, args.scale, args.samples, args.neighbors, args.seed)
+        return _run_e2e(
+            args.dataset,
+            args.scale,
+            args.samples,
+            args.neighbors,
+            args.seed,
+            num_frames=args.frames,
+            sampler=args.sampler,
+            accelerator=args.accelerator,
+        )
     if args.command == "samplers":
         return _run_samplers(args.points, args.samples, args.seed)
+    if args.command == "components":
+        return _run_components(args.kind)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -20,6 +20,12 @@ from repro.core.engine import InferenceEngine, PreprocessingEngine
 from repro.core.metrics import LatencyBreakdown, OpCounters, PhaseLatency
 from repro.core.pipeline import EndToEndResult, HgPCNSystem
 
+from repro import registry
+
+registry.register("engine", "preprocessing", PreprocessingEngine)
+registry.register("engine", "inference", InferenceEngine)
+registry.register("engine", "system", HgPCNSystem)
+
 __all__ = [
     "EndToEndResult",
     "HgPCNConfig",

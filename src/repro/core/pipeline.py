@@ -92,7 +92,16 @@ class SequenceResult:
 
 @dataclass
 class HgPCNSystem:
-    """End-to-end HgPCN: Pre-processing Engine + Inference Engine."""
+    """End-to-end HgPCN: Pre-processing Engine + Inference Engine.
+
+    Retained as a thin compatibility shim over :class:`repro.session.Session`
+    -- the session owns the engines and the warm model/sampler state, so a
+    long-lived ``HgPCNSystem`` now also reuses its constructed network across
+    same-shaped frames instead of rebuilding it per frame.  The session's
+    content-addressed response cache is *disabled* here to preserve the old
+    memory profile (it would retain whole frames and results); new code
+    should construct a ``Session`` directly and opt into it.
+    """
 
     config: HgPCNConfig = field(default_factory=HgPCNConfig)
     task: str = "semantic_segmentation"
@@ -100,29 +109,33 @@ class HgPCNSystem:
     inference_engine: Optional[InferenceEngine] = None
 
     def __post_init__(self) -> None:
-        if self.preprocessing_engine is None:
-            self.preprocessing_engine = PreprocessingEngine(config=self.config)
-        if self.inference_engine is None:
-            self.inference_engine = InferenceEngine(config=self.config, task=self.task)
+        # Imported here: repro.session imports the result types above.
+        from repro.session import Session
+
+        self._session = Session(
+            config=self.config,
+            task=self.task,
+            response_cache_size=0,
+            preprocessing_engine=self.preprocessing_engine,
+            inference_engine=self.inference_engine,
+        )
+        self.preprocessing_engine = self._session.preprocessing_engine
+        self.inference_engine = self._session.inference_engine
+
+    @property
+    def session(self) -> "Session":
+        """The warm :class:`~repro.session.Session` backing this facade."""
+        return self._session
 
     # ------------------------------------------------------------------
     def process_cloud(self, cloud: PointCloud, frame_id: str = "frame") -> EndToEndResult:
         """Run the full pipeline on one raw frame."""
-        pre = self.preprocessing_engine.process(cloud)
-        inf = self.inference_engine.process(pre.sampled)
-
-        breakdown = LatencyBreakdown()
-        breakdown.add("preprocessing", pre.total_seconds())
-        breakdown.add("inference", inf.total_seconds())
-        return EndToEndResult(
-            frame_id=frame_id,
-            preprocessing=pre,
-            inference=inf,
-            breakdown=breakdown,
-        )
+        return self._session.run(cloud, frame_id=frame_id).result
 
     def process_frame(self, frame: Frame) -> EndToEndResult:
-        return self.process_cloud(frame.cloud, frame_id=frame.frame_id)
+        from repro.session import FrameRequest
+
+        return self._session.run(FrameRequest.from_frame(frame)).result
 
     # ------------------------------------------------------------------
     def process_sequence(
@@ -145,19 +158,4 @@ class HgPCNSystem:
         latency seen by the arrival queue drops to the slower of the two
         phases per frame.
         """
-        frame_list = list(frames)
-        results = [self.process_frame(frame) for frame in frame_list]
-        sequence = SequenceResult(frame_results=results, pipelined=pipelined)
-
-        trace = None
-        if sensor is None:
-            timestamps = [f.timestamp for f in frame_list if f.timestamp is not None]
-            if len(timestamps) >= 2:
-                deltas = np.diff(sorted(timestamps))
-                deltas = deltas[deltas > 0]
-                if deltas.size:
-                    sensor = LidarSensorModel(frame_rate_hz=float(1.0 / deltas.mean()))
-        if sensor is not None:
-            trace = sensor.simulate_service(sequence.frame_latencies())
-            sequence.service_trace = trace
-        return sequence
+        return self._session.run_sequence(frames, sensor=sensor, pipelined=pipelined)

@@ -31,6 +31,13 @@ from repro.datasets.synthetic import (
     uniform_cube,
 )
 
+from repro import registry
+
+registry.register("dataset", "modelnet40", ModelNetLikeDataset)
+registry.register("dataset", "shapenet", ShapeNetLikeDataset)
+registry.register("dataset", "s3dis", S3DISLikeDataset)
+registry.register("dataset", "kitti", KittiLikeDataset)
+
 __all__ = [
     "DatasetSpec",
     "Frame",

@@ -16,11 +16,17 @@ This subpackage provides:
   shrink the sorting workload to the last expansion shell only.
 """
 
+from repro import registry
 from repro.datastructuring.ballquery import BallQueryGatherer
 from repro.datastructuring.base import Gatherer, GatherResult
 from repro.datastructuring.kdtree import KDTreeGatherer
 from repro.datastructuring.knn import BruteForceKNN, knn_counter_model
 from repro.datastructuring.veg import VEGStageStats, VoxelExpandedGatherer
+
+registry.register("gatherer", "knn", BruteForceKNN)
+registry.register("gatherer", "ballquery", BallQueryGatherer)
+registry.register("gatherer", "kdtree", KDTreeGatherer)
+registry.register("gatherer", "veg", VoxelExpandedGatherer)
 
 __all__ = [
     "BallQueryGatherer",

@@ -16,11 +16,26 @@ All samplers share the :class:`~repro.sampling.base.Sampler` interface and
 report :class:`~repro.core.metrics.OpCounters`.
 """
 
+from repro import registry
 from repro.sampling.base import Sampler, SamplingResult
 from repro.sampling.fps import FarthestPointSampler, fps_counter_model
 from repro.sampling.ois import OctreeIndexedSampler, ois_counter_model
 from repro.sampling.random_sampling import RandomSampler, ReinforcedRandomSampler
 from repro.sampling.voxel_grid_sampling import VoxelGridSampler
+
+
+def _approximate_ois(**kwargs):
+    """The approximate OIS-based-FPS variant of Section VIII-A."""
+    kwargs.setdefault("approximate", True)
+    return OctreeIndexedSampler(**kwargs)
+
+
+registry.register("sampler", "fps", FarthestPointSampler)
+registry.register("sampler", "random", RandomSampler)
+registry.register("sampler", "random+reinforce", ReinforcedRandomSampler)
+registry.register("sampler", "voxelgrid", VoxelGridSampler)
+registry.register("sampler", "ois", OctreeIndexedSampler)
+registry.register("sampler", "ois-approx", _approximate_ois)
 
 __all__ = [
     "FarthestPointSampler",

@@ -1,0 +1,345 @@
+"""Session-based pipeline API: warm state + request/response framing.
+
+The one-shot :class:`~repro.core.pipeline.HgPCNSystem` facade rebuilds the
+PointNet++ network, its gatherer, and the OIS sampler for every frame.  A
+:class:`Session` is the serving-oriented entry point that owns that warm
+state instead:
+
+* the **Inference Engine's model cache** keyed by ``(task, input_size,
+  feature_channels)`` -- repeated :meth:`Session.run` calls on same-shaped
+  frames reuse the constructed network and gatherer objects;
+* the **Pre-processing Engine's sampler cache** keyed by octree depth;
+* an optional **response cache** keyed by frame content, so a repeated frame
+  (duplicate requests, a stalled sensor replaying its last frame, retries in
+  a serving fleet) is answered without recomputing anything.
+
+Requests and responses are explicit dataclasses (:class:`FrameRequest`,
+:class:`FrameResponse`, :class:`BatchResult`), and :meth:`Session.run_batch`
+groups same-shaped frames so each shape's warm-up is paid once before the
+group is processed back-to-back.  Components are referenced by their
+registry names (``sampler="ois"``, ``accelerator="hgpcn"``), which keeps the
+session constructor free of concrete imports::
+
+    from repro import Session
+    session = Session(task="semantic_segmentation", sampler="ois")
+    response = session.run(cloud)
+    batch = session.run_batch(dataset)
+
+:class:`~repro.core.pipeline.HgPCNSystem` remains as a thin compatibility
+shim over a Session.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import HgPCNConfig
+from repro.core.engine import InferenceEngine, PreprocessingEngine
+from repro.core.metrics import LatencyBreakdown
+from repro.core.pipeline import EndToEndResult, SequenceResult
+from repro.datasets.base import Frame, PointCloudDataset
+from repro.datasets.lidar import LidarSensorModel
+from repro.geometry.pointcloud import PointCloud
+
+#: Anything :meth:`Session.run` accepts as a frame.
+FrameLike = Union["FrameRequest", Frame, PointCloud]
+
+
+@dataclass(frozen=True)
+class FrameRequest:
+    """One frame submitted to a :class:`Session`."""
+
+    cloud: PointCloud
+    frame_id: str = "frame"
+    timestamp: Optional[float] = None
+
+    @classmethod
+    def from_frame(cls, frame: Frame) -> "FrameRequest":
+        return cls(
+            cloud=frame.cloud, frame_id=frame.frame_id, timestamp=frame.timestamp
+        )
+
+    @classmethod
+    def coerce(cls, obj: FrameLike, index: int = 0) -> "FrameRequest":
+        """Wrap a raw cloud or dataset frame into a request."""
+        if isinstance(obj, FrameRequest):
+            return obj
+        if isinstance(obj, Frame):
+            return cls.from_frame(obj)
+        if isinstance(obj, PointCloud):
+            return cls(cloud=obj, frame_id=f"frame{index:04d}")
+        raise TypeError(
+            f"expected FrameRequest, Frame, or PointCloud; got {type(obj).__name__}"
+        )
+
+    def content_digest(self) -> str:
+        """Content hash of the frame's points and features."""
+        hasher = hashlib.sha1()
+        hasher.update(np.ascontiguousarray(self.cloud.points).tobytes())
+        if self.cloud.features is not None:
+            hasher.update(np.ascontiguousarray(self.cloud.features).tobytes())
+        return hasher.hexdigest()
+
+
+@dataclass
+class FrameResponse:
+    """Result of one :meth:`Session.run` call."""
+
+    request: FrameRequest
+    result: EndToEndResult
+    #: Whether the inference network came from the warm model cache.
+    warm: bool = False
+    #: Whether the whole response came from the content-addressed cache.
+    cached: bool = False
+
+    @property
+    def frame_id(self) -> str:
+        return self.result.frame_id
+
+    def predicted_labels(self) -> np.ndarray:
+        return self.result.inference.predicted_labels()
+
+    def total_seconds(self) -> float:
+        return self.result.total_seconds()
+
+
+@dataclass
+class BatchResult:
+    """Result of one :meth:`Session.run_batch` call.
+
+    ``responses`` preserves submission order; ``groups`` records how many
+    frames shared each warm-state shape key, i.e. how well the batch
+    amortised its warm-up.
+    """
+
+    responses: List[FrameResponse]
+    groups: Dict[Tuple[str, int, int], int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def __iter__(self):
+        return iter(self.responses)
+
+    def results(self) -> List[EndToEndResult]:
+        return [response.result for response in self.responses]
+
+    def warm_fraction(self) -> float:
+        """Fraction of frames served from warm model state or the cache."""
+        if not self.responses:
+            return 0.0
+        served_warm = sum(1 for r in self.responses if r.warm or r.cached)
+        return served_warm / len(self.responses)
+
+    def total_seconds(self) -> float:
+        """Sum of the modelled per-frame latencies."""
+        return float(sum(r.total_seconds() for r in self.responses))
+
+
+class Session:
+    """A warm, reusable pipeline instance (the serving entry point).
+
+    Parameters
+    ----------
+    config:
+        Full :class:`~repro.core.config.HgPCNConfig`; defaults match the
+        paper's prototype.
+    task:
+        Table I task name ("classification", "part_segmentation",
+        "semantic_segmentation").
+    sampler:
+        Registry name of the down-sampling method (``available("sampler")``).
+    accelerator:
+        Registry name of the inference platform model, or a constructed
+        :class:`~repro.accelerators.base.InferenceAccelerator` instance.
+    response_cache_size:
+        Capacity of the content-addressed response cache; ``0`` disables it.
+        Each entry retains the frame's full :class:`EndToEndResult`
+        (including the raw cloud and octree), so size the cache to the frame
+        scale -- or disable it -- when serving paper-scale million-point
+        frames.
+    preprocessing_engine / inference_engine:
+        Pre-built engines to adopt (used by the :class:`HgPCNSystem` shim);
+        when given they override ``sampler`` / ``accelerator``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HgPCNConfig] = None,
+        task: str = "semantic_segmentation",
+        sampler: str = "ois",
+        accelerator: Union[str, Any] = "hgpcn",
+        response_cache_size: int = 64,
+        preprocessing_engine: Optional[PreprocessingEngine] = None,
+        inference_engine: Optional[InferenceEngine] = None,
+    ):
+        self.config = config if config is not None else HgPCNConfig()
+        self.task = task
+        if preprocessing_engine is None:
+            preprocessing_engine = PreprocessingEngine(
+                config=self.config, sampler_name=sampler
+            )
+        if inference_engine is None:
+            if isinstance(accelerator, str):
+                from repro import registry
+
+                accelerator = registry.create("accelerator", accelerator)
+            inference_engine = InferenceEngine(
+                config=self.config, accelerator=accelerator, task=task
+            )
+        self.preprocessing_engine = preprocessing_engine
+        self.inference_engine = inference_engine
+        self.response_cache_size = max(0, int(response_cache_size))
+        self._response_cache: "OrderedDict[str, FrameResponse]" = OrderedDict()
+        self.frames_processed = 0
+        self.cache_hits = 0
+
+    # -- warm-state introspection --------------------------------------
+    @property
+    def model_builds(self) -> int:
+        """How many networks this session constructed (cache misses)."""
+        return self.inference_engine.model_builds
+
+    def warm_keys(self) -> Tuple[Tuple[str, int, int], ...]:
+        """Shape keys currently held warm by the inference engine."""
+        return self.inference_engine.warm_keys()
+
+    def shape_key(self, cloud: PointCloud) -> Tuple[str, int, int]:
+        """The warm-state key ``cloud`` will resolve to after down-sampling."""
+        sampled_size = min(
+            self.config.preprocessing.num_samples, cloud.num_points
+        )
+        return (self.task, sampled_size, cloud.num_feature_channels)
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters for monitoring."""
+        return {
+            "frames_processed": self.frames_processed,
+            "model_builds": self.model_builds,
+            "warm_shapes": len(self.warm_keys()),
+            "response_cache_entries": len(self._response_cache),
+            "response_cache_hits": self.cache_hits,
+        }
+
+    # -- single-frame path ---------------------------------------------
+    def run(self, frame: FrameLike, frame_id: Optional[str] = None) -> FrameResponse:
+        """Process one frame, reusing warm state wherever possible.
+
+        Results are value objects and must be treated as read-only: a
+        response served from the content cache shares its
+        :class:`EndToEndResult` (bar the rewritten ``frame_id``) with the
+        original computation and with any later hit on the same content.
+        """
+        request = FrameRequest.coerce(frame, index=self.frames_processed)
+        if frame_id is not None:
+            request = replace(request, frame_id=frame_id)
+
+        digest = request.content_digest() if self.response_cache_size else None
+        if digest is not None:
+            hit = self._response_cache.get(digest)
+            if hit is not None:
+                self._response_cache.move_to_end(digest)
+                self.cache_hits += 1
+                self.frames_processed += 1
+                result = hit.result
+                if result.frame_id != request.frame_id:
+                    result = replace(result, frame_id=request.frame_id)
+                return FrameResponse(
+                    request=request, result=result, warm=True, cached=True
+                )
+
+        pre = self.preprocessing_engine.process(request.cloud)
+        inf = self.inference_engine.process(pre.sampled)
+
+        breakdown = LatencyBreakdown()
+        breakdown.add("preprocessing", pre.total_seconds())
+        breakdown.add("inference", inf.total_seconds())
+        result = EndToEndResult(
+            frame_id=request.frame_id,
+            preprocessing=pre,
+            inference=inf,
+            breakdown=breakdown,
+        )
+        response = FrameResponse(request=request, result=result, warm=inf.warm)
+        if digest is not None:
+            self._response_cache[digest] = response
+            while len(self._response_cache) > self.response_cache_size:
+                self._response_cache.popitem(last=False)
+        self.frames_processed += 1
+        return response
+
+    # -- batched path ---------------------------------------------------
+    def run_batch(self, frames: Sequence[FrameLike]) -> BatchResult:
+        """Process many frames, grouping same-shaped ones.
+
+        Frames that will down-sample to the same ``(task, input_size,
+        channels)`` shape are processed back-to-back so the group's network
+        construction is paid once and every later member runs warm.
+        ``responses`` comes back in submission order regardless.
+        """
+        requests = [
+            FrameRequest.coerce(frame, index=self.frames_processed + i)
+            for i, frame in enumerate(frames)
+        ]
+        grouped: "OrderedDict[Tuple[str, int, int], List[int]]" = OrderedDict()
+        for i, request in enumerate(requests):
+            grouped.setdefault(self.shape_key(request.cloud), []).append(i)
+
+        # Every slot is assigned exactly once (self.run returns or raises),
+        # keeping responses 1:1 with the submitted frames.
+        responses: List[FrameResponse] = [None] * len(requests)  # type: ignore[list-item]
+        for indices in grouped.values():
+            for i in indices:
+                responses[i] = self.run(requests[i])
+        return BatchResult(
+            responses=responses,
+            groups={key: len(indices) for key, indices in grouped.items()},
+        )
+
+    # -- sequence / real-time path --------------------------------------
+    def run_sequence(
+        self,
+        frames: Union[Sequence[FrameLike], PointCloudDataset],
+        sensor: Optional[LidarSensorModel] = None,
+        pipelined: bool = False,
+    ) -> SequenceResult:
+        """Process a frame sequence and evaluate real-time behaviour.
+
+        The batched path feeds the Section VII-E evaluation: frames go
+        through :meth:`run_batch` (amortising warm-up across same-shaped
+        frames), then the per-frame modelled latencies are queued through the
+        sensor's arrival schedule.  See
+        :meth:`~repro.core.pipeline.HgPCNSystem.process_sequence` for the
+        meaning of ``pipelined``.
+        """
+        frame_list = list(frames)
+        requests = [
+            FrameRequest.coerce(frame, index=self.frames_processed + i)
+            for i, frame in enumerate(frame_list)
+        ]
+        batch = self.run_batch(requests)
+        sequence = SequenceResult(
+            frame_results=batch.results(), pipelined=pipelined
+        )
+
+        if sensor is None:
+            timestamps = [
+                r.timestamp for r in requests if r.timestamp is not None
+            ]
+            if len(timestamps) >= 2:
+                deltas = np.diff(sorted(timestamps))
+                deltas = deltas[deltas > 0]
+                if deltas.size:
+                    sensor = LidarSensorModel(
+                        frame_rate_hz=float(1.0 / deltas.mean())
+                    )
+        if sensor is not None:
+            sequence.service_trace = sensor.simulate_service(
+                sequence.frame_latencies()
+            )
+        return sequence

@@ -1,0 +1,124 @@
+"""Unit tests for the component registry (repro.registry)."""
+
+import pytest
+
+from repro import registry
+from repro.accelerators.base import InferenceAccelerator, InferenceWorkloadSpec
+from repro.datasets.synthetic import sample_cad_shape
+from repro.sampling.base import Sampler
+
+
+class TestLookup:
+    def test_kinds_are_known(self):
+        assert set(registry.KINDS) == {
+            "sampler", "gatherer", "accelerator", "dataset", "engine"
+        }
+
+    def test_available_lists_builtin_samplers(self):
+        names = registry.available("sampler")
+        for expected in ("fps", "random", "voxelgrid", "ois", "ois-approx"):
+            assert expected in names
+
+    def test_available_all_kinds(self):
+        table = registry.available()
+        assert set(table) == set(registry.KINDS)
+        assert "hgpcn" in table["accelerator"]
+        assert "kitti" in table["dataset"]
+        assert "veg" in table["gatherer"]
+
+    def test_unknown_name_error_lists_choices(self):
+        with pytest.raises(registry.UnknownComponentError) as excinfo:
+            registry.create("sampler", "definitely-not-a-sampler")
+        message = str(excinfo.value)
+        assert "definitely-not-a-sampler" in message
+        for name in registry.available("sampler"):
+            assert name in message
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(registry.UnknownComponentError):
+            registry.available("flux-capacitor")
+
+    def test_is_registered(self):
+        assert registry.is_registered("accelerator", "hgpcn")
+        assert not registry.is_registered("accelerator", "tpu")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["fps", "random", "random+reinforce",
+                                      "voxelgrid", "ois", "ois-approx"])
+    def test_every_sampler_creates_and_samples(self, name):
+        sampler = registry.create("sampler", name, seed=0)
+        assert isinstance(sampler, Sampler)
+        cloud = sample_cad_shape(300, shape="box", seed=0)
+        result = sampler.sample(cloud, 32)
+        assert result.num_samples == 32
+
+    def test_all_registered_samplers_create(self):
+        for name in registry.available("sampler"):
+            assert isinstance(registry.create("sampler", name, seed=0), Sampler)
+
+    def test_every_accelerator_creates_and_reports(self):
+        spec = InferenceWorkloadSpec.from_benchmark("modelnet40")
+        for name in registry.available("accelerator"):
+            accelerator = registry.create("accelerator", name)
+            assert isinstance(accelerator, InferenceAccelerator)
+            assert accelerator.inference_report(spec).total_seconds() > 0
+
+    def test_every_dataset_creates_and_generates(self):
+        for name in registry.available("dataset"):
+            dataset = registry.create("dataset", name, num_frames=1, seed=0,
+                                      scale=0.001)
+            frame = dataset.generate_frame(0)
+            assert frame.num_points > 0
+
+    def test_every_gatherer_creates(self):
+        for name in registry.available("gatherer"):
+            assert registry.create("gatherer", name) is not None
+
+    def test_engines_create(self):
+        assert registry.create("engine", "preprocessing") is not None
+        assert registry.create("engine", "inference") is not None
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        class DummySampler:
+            pass
+
+        registry.register("sampler", "dummy-test-sampler", DummySampler)
+        try:
+            assert registry.create("sampler", "dummy-test-sampler") is not None
+            assert "dummy-test-sampler" in registry.available("sampler")
+        finally:
+            registry.unregister("sampler", "dummy-test-sampler")
+        assert not registry.is_registered("sampler", "dummy-test-sampler")
+
+    def test_decorator_form(self):
+        @registry.register("gatherer", "decorated-test-gatherer")
+        class DecoratedGatherer:
+            pass
+
+        try:
+            assert registry.get_factory(
+                "gatherer", "decorated-test-gatherer"
+            ) is DecoratedGatherer
+        finally:
+            registry.unregister("gatherer", "decorated-test-gatherer")
+
+    def test_duplicate_rejected_without_overwrite(self):
+        registry.register("sampler", "dup-test", lambda **kw: None)
+        try:
+            with pytest.raises(registry.DuplicateComponentError):
+                registry.register("sampler", "dup-test", lambda **kw: None)
+            # Explicit overwrite is allowed.
+            sentinel = object()
+            registry.register(
+                "sampler", "dup-test", lambda **kw: sentinel, overwrite=True
+            )
+            assert registry.create("sampler", "dup-test") is sentinel
+        finally:
+            registry.unregister("sampler", "dup-test")
+
+    def test_non_callable_factory_rejected(self):
+        with pytest.raises(TypeError):
+            registry.register("sampler", "broken-test", factory=42)

@@ -1,0 +1,219 @@
+"""Unit tests for the session-based pipeline API (repro.session)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    HgPCNConfig,
+    InferenceEngineConfig,
+    PreprocessingConfig,
+)
+from repro.core.pipeline import HgPCNSystem, SequenceResult
+from repro.datasets import KittiLikeDataset
+from repro.datasets.synthetic import sample_cad_shape
+from repro.session import BatchResult, FrameRequest, FrameResponse, Session
+
+
+def small_config(num_samples: int = 64) -> HgPCNConfig:
+    return HgPCNConfig(
+        preprocessing=PreprocessingConfig(num_samples=num_samples, seed=0),
+        inference=InferenceEngineConfig(
+            num_centroids=16, neighbors_per_centroid=8, seed=0
+        ),
+    )
+
+
+def make_cloud(seed: int, points: int = 400):
+    return sample_cad_shape(points, shape="box", non_uniformity=0.2, seed=seed)
+
+
+class TestFrameRequest:
+    def test_coerce_cloud(self):
+        request = FrameRequest.coerce(make_cloud(0), index=7)
+        assert request.frame_id == "frame0007"
+
+    def test_coerce_frame(self):
+        frame = KittiLikeDataset(num_frames=1, seed=0, scale=0.0005).generate_frame(0)
+        request = FrameRequest.coerce(frame)
+        assert request.frame_id == frame.frame_id
+        assert request.timestamp == frame.timestamp
+
+    def test_coerce_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            FrameRequest.coerce([1, 2, 3])
+
+    def test_content_digest_tracks_content(self):
+        a = FrameRequest(cloud=make_cloud(0))
+        b = FrameRequest(cloud=make_cloud(0), frame_id="other-id")
+        c = FrameRequest(cloud=make_cloud(1))
+        assert a.content_digest() == b.content_digest()
+        assert a.content_digest() != c.content_digest()
+
+
+class TestWarmState:
+    def test_same_shape_reuses_cached_model_object(self):
+        session = Session(config=small_config(), task="semantic_segmentation")
+        first = session.run(make_cloud(1))
+        state = session.inference_engine.warm_state(
+            first.result.preprocessing.sampled.num_points,
+            first.result.preprocessing.sampled.num_feature_channels,
+        )
+        model_before = state.model
+        second = session.run(make_cloud(2))
+        assert second.warm and not second.cached
+        assert session.model_builds == 1
+        # The very same constructed network object served both frames.
+        assert state.model is model_before
+        assert len(session.warm_keys()) == 1
+
+    def test_warm_logits_identical_to_cold_runs(self):
+        clouds = [make_cloud(1), make_cloud(2)]
+        warm_session = Session(config=small_config(), task="semantic_segmentation")
+        warm = [warm_session.run(cloud) for cloud in clouds]
+        cold = [
+            Session(config=small_config(), task="semantic_segmentation").run(cloud)
+            for cloud in clouds
+        ]
+        assert warm_session.model_builds == 1
+        for warm_response, cold_response in zip(warm, cold):
+            np.testing.assert_array_equal(
+                warm_response.result.inference.forward.logits,
+                cold_response.result.inference.forward.logits,
+            )
+
+    def test_different_shapes_build_separate_models(self):
+        session = Session(config=small_config(num_samples=64))
+        session.run(make_cloud(1, points=400))   # sampled to 64
+        session.run(make_cloud(2, points=40))    # sampled to 40
+        assert session.model_builds == 2
+        assert len(session.warm_keys()) == 2
+
+    def test_execution_stores_workload_once(self):
+        session = Session(config=small_config())
+        execution = session.run(make_cloud(1)).result.inference
+        assert execution.workload is not None
+        counters = session.inference_engine.workload_counters(execution)
+        assert counters is execution.workload.data_structuring
+
+
+class TestResponseCache:
+    def test_repeated_content_is_served_from_cache(self):
+        session = Session(config=small_config())
+        cloud = make_cloud(3)
+        first = session.run(cloud, frame_id="a")
+        again = session.run(cloud, frame_id="b")
+        assert not first.cached and again.cached
+        assert again.frame_id == "b"  # identity is rewritten per request
+        np.testing.assert_array_equal(
+            first.predicted_labels(), again.predicted_labels()
+        )
+        assert session.stats()["response_cache_hits"] == 1
+
+    def test_cache_can_be_disabled(self):
+        session = Session(config=small_config(), response_cache_size=0)
+        cloud = make_cloud(3)
+        session.run(cloud)
+        assert not session.run(cloud).cached
+
+    def test_cache_evicts_beyond_capacity(self):
+        session = Session(config=small_config(), response_cache_size=2)
+        clouds = [make_cloud(i) for i in range(3)]
+        for cloud in clouds:
+            session.run(cloud)
+        assert session.stats()["response_cache_entries"] == 2
+        assert not session.run(clouds[0]).cached  # evicted
+
+
+class TestBatch:
+    def test_batch_groups_same_shaped_frames(self):
+        session = Session(config=small_config(num_samples=64))
+        clouds = [
+            make_cloud(1, points=400),
+            make_cloud(2, points=40),
+            make_cloud(3, points=400),
+        ]
+        batch = session.run_batch(clouds)
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == 3
+        assert sorted(batch.groups.values()) == [1, 2]
+        # Submission order is preserved despite grouped processing.
+        sizes = [r.result.preprocessing.sampled.num_points for r in batch]
+        assert sizes == [64, 40, 64]
+        assert session.model_builds == 2
+
+    def test_batch_warm_fraction(self):
+        session = Session(config=small_config())
+        batch = session.run_batch([make_cloud(i) for i in range(4)])
+        # First frame builds the model; the other three run warm.
+        assert batch.warm_fraction() == pytest.approx(0.75)
+        assert batch.total_seconds() > 0
+
+    def test_run_sequence_returns_sequence_result(self):
+        session = Session(config=small_config())
+        dataset = KittiLikeDataset(num_frames=3, seed=0, scale=0.0005)
+        sequence = session.run_sequence(dataset)
+        assert isinstance(sequence, SequenceResult)
+        assert len(sequence.frame_results) == 3
+        # KITTI-like frames carry timestamps, so a sensor model is inferred.
+        assert sequence.service_trace is not None
+
+
+class TestSystemShim:
+    def test_process_cloud_matches_session_run(self):
+        config = small_config()
+        system = HgPCNSystem(config=config, task="semantic_segmentation")
+        direct = Session(config=config, task="semantic_segmentation")
+        cloud = make_cloud(5)
+        np.testing.assert_array_equal(
+            system.process_cloud(cloud).inference.forward.logits,
+            direct.run(cloud).result.inference.forward.logits,
+        )
+
+    def test_system_reuses_model_across_frames(self):
+        system = HgPCNSystem(config=small_config(), task="semantic_segmentation")
+        system.process_cloud(make_cloud(1), frame_id="f1")
+        system.process_cloud(make_cloud(2), frame_id="f2")
+        assert system.session.model_builds == 1
+
+    def test_shim_exposes_engines(self):
+        system = HgPCNSystem(config=small_config())
+        assert system.preprocessing_engine is system.session.preprocessing_engine
+        assert system.inference_engine is system.session.inference_engine
+
+
+class TestPluggableComponents:
+    @pytest.mark.parametrize("sampler", ["fps", "random", "voxelgrid"])
+    def test_alternative_samplers(self, sampler):
+        session = Session(
+            config=small_config(), task="semantic_segmentation", sampler=sampler
+        )
+        response = session.run(make_cloud(1, points=200))
+        assert response.result.preprocessing.sampling.method != ""
+        assert response.result.preprocessing.sampled.num_points == 64
+
+    @pytest.mark.parametrize("accelerator", ["hgpcn", "pointacc", "mesorasi"])
+    def test_alternative_accelerators(self, accelerator):
+        session = Session(
+            config=small_config(), task="classification", accelerator=accelerator
+        )
+        response = session.run(make_cloud(1, points=200))
+        assert response.total_seconds() > 0
+
+    def test_unknown_sampler_raises_with_choices(self):
+        session = Session(config=small_config(), sampler="definitely-unknown")
+        with pytest.raises(KeyError, match="available sampler"):
+            session.run(make_cloud(1))
+
+    def test_unknown_accelerator_raises_at_construction(self):
+        with pytest.raises(KeyError, match="available accelerator"):
+            Session(config=small_config(), accelerator="definitely-unknown")
+
+
+class TestFrameResponse:
+    def test_response_accessors(self):
+        session = Session(config=small_config(), task="semantic_segmentation")
+        response = session.run(make_cloud(1), frame_id="frame-x")
+        assert isinstance(response, FrameResponse)
+        assert response.frame_id == "frame-x"
+        assert response.total_seconds() == response.result.total_seconds()
+        assert response.predicted_labels().shape[0] > 0
