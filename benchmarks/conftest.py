@@ -6,7 +6,9 @@ paper-scale parameters), prints them, and wraps the functional kernel behind
 the result in a pytest-benchmark measurement so `pytest benchmarks/
 --benchmark-only` also tracks the wall-clock cost of the reproduction itself.
 
-Run ``python benchmarks/run_all.py`` to print every table without pytest.
+Run ``python benchmarks/run_all.py --exhibits`` to print every table
+without pytest; the harness's default mode times the vectorized kernels
+against their scalar references instead.
 """
 
 from __future__ import annotations

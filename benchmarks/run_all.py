@@ -1,24 +1,455 @@
 #!/usr/bin/env python3
-"""Print every reproduced table and figure of the paper's evaluation.
+"""Unified benchmark harness: kernel perf scenarios + the paper's exhibits.
+
+Default mode runs every vectorized-kernel scenario against its retained
+scalar reference (:mod:`repro.kernels.reference`), verifies the results are
+bit-identical (indices, neighbor rows, counters), and writes a consolidated
+``BENCH_kernels.json`` with per-stage wall times, op counters, and speedups.
+That file is the perf-trajectory anchor for future PRs: CI runs the quick
+variant and fails when any kernel regresses more than 2x against the
+recorded baseline.
 
 Usage::
 
-    python benchmarks/run_all.py            # all exhibits
-    python benchmarks/run_all.py fig14      # only exhibits matching "fig14"
+    python benchmarks/run_all.py                    # full-size scenarios
+    python benchmarks/run_all.py --quick            # CI-sized scenarios
+    python benchmarks/run_all.py --only ois veg     # subset by substring
+    python benchmarks/run_all.py --check-baseline   # enforce the recorded baseline
+    python benchmarks/run_all.py --exhibits [needle]  # print paper tables/figures
 
-This is the quickest way to regenerate the numbers recorded in
-EXPERIMENTS.md without going through pytest-benchmark.
+Follows the run-all -> JSON -> comparison harness idiom of the
+qml-cutensornet reproduction exemplar.
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
+import json
 import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.analysis.figures import all_reports, match_reports
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.metrics import OpCounters  # noqa: E402
+from repro.datasets.synthetic import sample_cad_shape  # noqa: E402
+from repro.datastructuring.ballquery import BallQueryGatherer  # noqa: E402
+from repro.datastructuring.base import pick_random_centroids  # noqa: E402
+from repro.datastructuring.veg import VoxelExpandedGatherer  # noqa: E402
+from repro.geometry.morton import morton_encode_points  # noqa: E402
+from repro.kernels import bucketize_codes, hamming_codes  # noqa: E402
+from repro.kernels import reference as ref  # noqa: E402
+from repro.octree.builder import Octree  # noqa: E402
+from repro.sampling.fps import FarthestPointSampler  # noqa: E402
+from repro.sampling.ois import OctreeIndexedSampler  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "BENCH_kernels_baseline.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
+
+#: A scenario regressing more than this factor against the recorded baseline
+#: fails the --check-baseline run.
+REGRESSION_TOLERANCE = 2.0
 
 
-def main(argv: list[str]) -> int:
-    needle = argv[1] if len(argv) > 1 else ""
+@dataclasses.dataclass
+class Scenario:
+    """One kernel-vs-reference measurement.
+
+    ``run_vectorized`` / ``run_reference`` are zero-argument callables
+    returning ``(comparable, counters_or_None)``; ``comparable`` feeds the
+    bit-identity check via ``np.array_equal`` (arrays) or ``==``.
+    """
+
+    name: str
+    stage: str
+    params: Dict[str, Any]
+    run_vectorized: Callable[[], Tuple[Any, Optional[OpCounters]]]
+    run_reference: Callable[[], Tuple[Any, Optional[OpCounters]]]
+
+
+def _counters_dict(counters: Optional[OpCounters]) -> Optional[Dict[str, int]]:
+    return None if counters is None else dataclasses.asdict(counters)
+
+
+def _equal(a: Any, b: Any) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(np.asarray(a), np.asarray(b))
+    if isinstance(a, (tuple, list)):
+        return len(a) == len(b) and all(_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+# ----------------------------------------------------------------------
+# Scenario definitions
+# ----------------------------------------------------------------------
+def build_scenarios(quick: bool) -> List[Scenario]:
+    scale = 0.08 if quick else 1.0
+
+    def sized(full: int, minimum: int = 512) -> int:
+        return max(minimum, int(full * scale))
+
+    scenarios: List[Scenario] = []
+    rng = np.random.default_rng(0)
+
+    # --- geometry: Morton encode -------------------------------------
+    n_codes = sized(1_000_000, 50_000)
+    cloud_codes = sample_cad_shape(n_codes, shape="box", non_uniformity=0.3, seed=1)
+    box = cloud_codes.bounds().as_cube(padding=1e-9)
+    depth = 9
+    scenarios.append(
+        Scenario(
+            name="morton_encode",
+            stage="geometry",
+            params={"num_points": n_codes, "depth": depth},
+            run_vectorized=lambda: (
+                morton_encode_points(cloud_codes.points, box, depth), None
+            ),
+            run_reference=lambda: (
+                ref.scalar_morton_encode_points(cloud_codes.points, box, depth),
+                None,
+            ),
+        )
+    )
+
+    # --- geometry: Hamming popcount ----------------------------------
+    n_ham = sized(2_000_000, 100_000)
+    codes_a = rng.integers(0, 1 << 62, size=n_ham).astype(np.int64)
+    seed_code = int(rng.integers(0, 1 << 62))
+    scenarios.append(
+        Scenario(
+            name="hamming_popcount",
+            stage="geometry",
+            params={"num_codes": n_ham},
+            run_vectorized=lambda: (hamming_codes(codes_a, seed_code), None),
+            run_reference=lambda: (
+                ref.scalar_hamming_array(codes_a, seed_code), None
+            ),
+        )
+    )
+
+    # --- datastructuring: leaf bucketing -----------------------------
+    n_bucket = sized(500_000, 50_000)
+    bucket_codes = rng.integers(0, n_bucket // 4, size=n_bucket).astype(np.int64)
+
+    def run_bucketize_vec():
+        order, uniq, starts, counts = bucketize_codes(bucket_codes)
+        return (order, uniq, starts, counts), None
+
+    def run_bucketize_ref():
+        buckets = ref.dict_bucketize(bucket_codes)
+        uniq = np.fromiter(buckets.keys(), dtype=np.int64, count=len(buckets))
+        order = np.concatenate(list(buckets.values()))
+        counts = np.fromiter(
+            (len(v) for v in buckets.values()), dtype=np.intp, count=len(buckets)
+        )
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.intp)
+        return (order, uniq, starts, counts), None
+
+    scenarios.append(
+        Scenario(
+            name="leaf_bucketing",
+            stage="datastructuring",
+            params={"num_codes": n_bucket},
+            run_vectorized=run_bucketize_vec,
+            run_reference=run_bucketize_ref,
+        )
+    )
+
+    # --- octree: build ------------------------------------------------
+    n_tree = sized(100_000, 8_000)
+    cloud_tree = sample_cad_shape(n_tree, shape="box", non_uniformity=0.3, seed=2)
+    tree_depth = 8 if not quick else 6
+
+    def run_tree_vec():
+        octree = Octree.build(cloud_tree, depth=tree_depth)
+        return (
+            octree.leaf_codes,
+            octree.point_codes,
+            octree.points_in_sfc_order(),
+            dataclasses.astuple(octree.stats),
+        ), None
+
+    def run_tree_ref():
+        octree = ref.build_octree_scalar(cloud_tree, depth=tree_depth)
+        return (
+            octree.leaf_codes,
+            octree.point_codes,
+            octree.points_in_sfc_order(),
+            dataclasses.astuple(octree.stats),
+        ), None
+
+    scenarios.append(
+        Scenario(
+            name="octree_build",
+            stage="octree",
+            params={"num_points": n_tree, "depth": tree_depth},
+            run_vectorized=run_tree_vec,
+            run_reference=run_tree_ref,
+        )
+    )
+
+    # --- sampling: FPS ------------------------------------------------
+    n_fps = sized(50_000, 8_000)
+    k_fps = 256 if not quick else 128
+    cloud_fps = sample_cad_shape(n_fps, shape="sphere", non_uniformity=0.2, seed=3)
+
+    def run_fps_vec():
+        result = FarthestPointSampler(seed=0).sample(cloud_fps, k_fps)
+        return (result.indices, result.info["nearest_distance_max"]), None
+
+    scenarios.append(
+        Scenario(
+            name="fps_sampling",
+            stage="sampling",
+            params={"num_points": n_fps, "num_samples": k_fps},
+            run_vectorized=run_fps_vec,
+            run_reference=lambda: (ref.fps_scalar(cloud_fps, k_fps, seed=0), None),
+        )
+    )
+
+    # --- sampling: OIS ------------------------------------------------
+    n_ois = sized(100_000, 8_000)
+    k_ois = 1024 if not quick else 128
+    cloud_ois = sample_cad_shape(n_ois, shape="box", non_uniformity=0.3, seed=4)
+
+    def run_ois_vec():
+        result = OctreeIndexedSampler(seed=0).sample(cloud_ois, k_ois)
+        return result.indices, result.counters
+
+    def run_ois_ref():
+        indices, counters = ref.ois_scalar(cloud_ois, k_ois, seed=0)
+        return indices, counters
+
+    scenarios.append(
+        Scenario(
+            name="ois_sampling",
+            stage="sampling",
+            params={"num_points": n_ois, "num_samples": k_ois},
+            run_vectorized=run_ois_vec,
+            run_reference=run_ois_ref,
+        )
+    )
+
+    # --- datastructuring: VEG gathering ------------------------------
+    n_veg = sized(100_000, 8_000)
+    m_veg = 1024 if not quick else 128
+    k_veg = 32 if not quick else 16
+    cloud_veg = sample_cad_shape(n_veg, shape="box", non_uniformity=0.3, seed=5)
+    cents_veg = pick_random_centroids(cloud_veg, m_veg, seed=0)
+
+    def run_veg_vec():
+        result = VoxelExpandedGatherer(seed=0).gather(cloud_veg, cents_veg, k_veg)
+        return result.neighbor_indices, result.counters
+
+    def run_veg_ref():
+        rows, counters, _ = ref.veg_scalar(cloud_veg, cents_veg, k_veg)
+        return rows, counters
+
+    scenarios.append(
+        Scenario(
+            name="veg_gathering",
+            stage="gathering",
+            params={
+                "num_points": n_veg,
+                "num_centroids": m_veg,
+                "neighbors": k_veg,
+            },
+            run_vectorized=run_veg_vec,
+            run_reference=run_veg_ref,
+        )
+    )
+
+    # --- datastructuring: VEG ball-query mode ------------------------
+    m_ball = 512 if not quick else 128
+    cents_ball = pick_random_centroids(cloud_veg, m_ball, seed=1)
+    # Radius sized so the fixed shell budget stays a handful of rings at the
+    # suggested grid depth for the frame size.
+    ball_radius = (0.05 if quick else 0.02) * float(
+        cloud_veg.bounds().as_cube().size.max()
+    )
+
+    def run_veg_ball_vec():
+        result = VoxelExpandedGatherer(ball_radius=ball_radius, seed=0).gather(
+            cloud_veg, cents_ball, k_veg
+        )
+        return result.neighbor_indices, result.counters
+
+    def run_veg_ball_ref():
+        rows, counters, _ = ref.veg_scalar(
+            cloud_veg, cents_ball, k_veg, ball_radius=ball_radius
+        )
+        return rows, counters
+
+    scenarios.append(
+        Scenario(
+            name="veg_ballquery",
+            stage="gathering",
+            params={
+                "num_points": n_veg,
+                "num_centroids": m_ball,
+                "neighbors": k_veg,
+                "ball_radius": round(ball_radius, 6),
+            },
+            run_vectorized=run_veg_ball_vec,
+            run_reference=run_veg_ball_ref,
+        )
+    )
+
+    # --- datastructuring: brute-force ball query ----------------------
+    n_bq = sized(20_000, 4_000)
+    m_bq = 1024 if not quick else 256
+    cloud_bq = sample_cad_shape(n_bq, shape="box", non_uniformity=0.3, seed=6)
+    cents_bq = pick_random_centroids(cloud_bq, m_bq, seed=2)
+    bq_radius = 0.1 * float(cloud_bq.bounds().as_cube().size.max())
+
+    def run_bq_vec():
+        result = BallQueryGatherer(radius=bq_radius).gather(cloud_bq, cents_bq, 16)
+        return (
+            result.neighbor_indices,
+            result.info["groups_truncated"],
+            result.info["groups_padded"],
+        ), None
+
+    scenarios.append(
+        Scenario(
+            name="ballquery_bruteforce",
+            stage="datastructuring",
+            params={
+                "num_points": n_bq,
+                "num_centroids": m_bq,
+                "neighbors": 16,
+                "radius": round(bq_radius, 6),
+            },
+            run_vectorized=run_bq_vec,
+            run_reference=lambda: (
+                ref.ballquery_scalar(cloud_bq, cents_bq, 16, bq_radius), None
+            ),
+        )
+    )
+
+    return scenarios
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+#: Scenarios faster than this are re-timed (best of N) so scheduler noise
+#: on shared CI runners cannot flip the baseline check.
+_RETIME_THRESHOLD_SECONDS = 0.3
+_MAX_TIMING_ROUNDS = 5
+
+
+def _timed(
+    run: Callable[[], Tuple[Any, Optional[OpCounters]]]
+) -> Tuple[float, Any, Optional[OpCounters]]:
+    """Best-of-N wall time; fast runs are repeated to suppress jitter."""
+    start = time.perf_counter()
+    value, counters = run()
+    best = time.perf_counter() - start
+    rounds = 1
+    while best < _RETIME_THRESHOLD_SECONDS and rounds < _MAX_TIMING_ROUNDS:
+        start = time.perf_counter()
+        value, counters = run()
+        best = min(best, time.perf_counter() - start)
+        rounds += 1
+    return best, value, counters
+
+
+def run_scenarios(
+    scenarios: List[Scenario], quick: bool
+) -> Dict[str, Any]:
+    results: List[Dict[str, Any]] = []
+    for scenario in scenarios:
+        reference_seconds, reference_value, reference_counters = _timed(
+            scenario.run_reference
+        )
+        vectorized_seconds, vectorized_value, vectorized_counters = _timed(
+            scenario.run_vectorized
+        )
+
+        identical = _equal(vectorized_value, reference_value)
+        counters_match = (
+            _counters_dict(vectorized_counters)
+            == _counters_dict(reference_counters)
+        )
+        speedup = reference_seconds / max(vectorized_seconds, 1e-12)
+        results.append(
+            {
+                "name": scenario.name,
+                "stage": scenario.stage,
+                "params": scenario.params,
+                "reference_seconds": round(reference_seconds, 6),
+                "vectorized_seconds": round(vectorized_seconds, 6),
+                "speedup": round(speedup, 2),
+                "identical": bool(identical and counters_match),
+                "counters": _counters_dict(vectorized_counters),
+            }
+        )
+        status = "ok " if identical and counters_match else "MISMATCH"
+        print(
+            f"[{status}] {scenario.name:<22} {scenario.stage:<15}"
+            f" ref {reference_seconds:8.3f}s  vec {vectorized_seconds:8.3f}s"
+            f"  speedup {speedup:7.1f}x"
+        )
+
+    speedups = [r["speedup"] for r in results]
+    summary = {
+        "num_scenarios": len(results),
+        "all_identical": all(r["identical"] for r in results),
+        "min_speedup": round(min(speedups), 2) if speedups else None,
+        "geomean_speedup": (
+            round(float(np.exp(np.mean(np.log(speedups)))), 2)
+            if speedups
+            else None
+        ),
+    }
+    return {
+        "benchmark": "kernels",
+        "mode": "quick" if quick else "full",
+        "generated_unix": int(time.time()),
+        "numpy_version": np.__version__,
+        "python_version": sys.version.split()[0],
+        "scenarios": results,
+        "summary": summary,
+    }
+
+
+def check_baseline(report: Dict[str, Any], baseline_path: Path) -> List[str]:
+    """Compare speedups against the recorded baseline; return failures."""
+    failures: List[str] = []
+    if not baseline_path.exists():
+        failures.append(f"baseline file missing: {baseline_path}")
+        return failures
+    baseline = json.loads(baseline_path.read_text())
+    recorded: Dict[str, float] = baseline.get(report["mode"], {})
+    for scenario in report["scenarios"]:
+        if not scenario["identical"]:
+            failures.append(
+                f"{scenario['name']}: vectorized result is NOT identical to"
+                " the scalar reference"
+            )
+        expected = recorded.get(scenario["name"])
+        if expected is None:
+            continue
+        floor = expected / REGRESSION_TOLERANCE
+        if scenario["speedup"] < floor:
+            failures.append(
+                f"{scenario['name']}: speedup {scenario['speedup']}x fell"
+                f" below {floor:.1f}x (baseline {expected}x /"
+                f" tolerance {REGRESSION_TOLERANCE}x)"
+            )
+    return failures
+
+
+def run_exhibits(needle: str) -> int:
+    """Legacy mode: print every reproduced table/figure of the paper."""
+    from repro.analysis.figures import all_reports, match_reports
+
     reports = all_reports()
     matched = match_reports(needle, reports)
     if not matched:
@@ -29,6 +460,68 @@ def main(argv: list[str]) -> int:
     for report in matched:
         print(report.formatted())
         print()
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized scenarios (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="run only scenarios whose name contains one of these substrings",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="fail if any kernel regresses >2x against the recorded baseline",
+    )
+    parser.add_argument(
+        "--exhibits", nargs="?", const="", default=None, metavar="NEEDLE",
+        help="print the paper's tables/figures instead (optionally filtered)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    if args.exhibits is not None:
+        return run_exhibits(args.exhibits)
+
+    scenarios = build_scenarios(quick=args.quick)
+    if args.only:
+        scenarios = [
+            s for s in scenarios
+            if any(needle in s.name for needle in args.only)
+        ]
+        if not scenarios:
+            print(f"no scenario matches {args.only!r}")
+            return 1
+
+    report = run_scenarios(scenarios, quick=args.quick)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    summary = report["summary"]
+    print(
+        f"\n{summary['num_scenarios']} scenarios | all identical:"
+        f" {summary['all_identical']} | min speedup"
+        f" {summary['min_speedup']}x | geomean {summary['geomean_speedup']}x"
+    )
+    print(f"wrote {args.output}")
+
+    if not summary["all_identical"]:
+        print("FAIL: at least one vectorized kernel diverged from its"
+              " scalar reference")
+        return 1
+    if args.check_baseline:
+        failures = check_baseline(report, BASELINE_PATH)
+        if failures:
+            print("\nbaseline check FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"baseline check passed ({BASELINE_PATH.name})")
     return 0
 
 

@@ -25,8 +25,10 @@ Quick start::
     response = session.run(dataset.generate_frame(0))
     print(response.result.breakdown.as_dict())
 
-See DESIGN.md for the architecture (registry, session, engines) and
-``python benchmarks/run_all.py`` for the paper-vs-measured tables.
+See DESIGN.md for the architecture (registry, session, engines);
+``python benchmarks/run_all.py --exhibits`` prints the paper-vs-measured
+tables, and the default mode benchmarks the vectorized kernels against
+their scalar references (``BENCH_kernels.json``).
 """
 
 from repro import registry

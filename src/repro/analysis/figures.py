@@ -3,7 +3,7 @@
 Each ``figure_*`` / ``table_*`` function computes the rows or series the
 corresponding exhibit reports, using the paper-scale workload parameters and
 the analytic cost models.  The benchmark harness (``benchmarks/``) and the
-standalone runner (``benchmarks/run_all.py``) print these; EXPERIMENTS.md
+standalone runner (``benchmarks/run_all.py --exhibits``) print these; EXPERIMENTS.md
 records the paper-vs-measured comparison.
 
 The canonical frame sizes used for the per-frame figures (9-13) follow the

@@ -14,6 +14,7 @@ import numpy as np
 from repro.datastructuring.base import Gatherer, GatherResult
 from repro.datastructuring.knn import knn_counter_model
 from repro.geometry.pointcloud import PointCloud
+from repro.kernels import distance_chunk_rows, pairwise_sq_dists
 
 
 class BallQueryGatherer(Gatherer):
@@ -44,27 +45,26 @@ class BallQueryGatherer(Gatherer):
         rows = np.empty((centroid_indices.shape[0], neighbors), dtype=np.intp)
         truncated = 0
         padded = 0
-        chunk = 256
+        column = np.arange(neighbors, dtype=np.intp)
+        chunk = distance_chunk_rows(cloud.num_points)
         for start in range(0, centroid_indices.shape[0], chunk):
             block_idx = centroid_indices[start : start + chunk]
-            block = points[block_idx]
-            diff = block[:, None, :] - points[None, :, :]
-            dist = (diff**2).sum(axis=-1)
+            dist = pairwise_sq_dists(points[block_idx], points)
             order = np.argsort(dist, axis=1)
             sorted_dist = np.take_along_axis(dist, order, axis=1)
-            for r in range(block.shape[0]):
-                inside = order[r][sorted_dist[r] <= radius_sq]
-                if inside.shape[0] >= neighbors:
-                    if inside.shape[0] > neighbors:
-                        truncated += 1
-                    rows[start + r] = inside[:neighbors]
-                else:
-                    # PointNet++ convention: pad with the nearest point so the
-                    # group always has exactly k entries.
-                    padded += 1
-                    fill = np.full(neighbors, order[r][0], dtype=np.intp)
-                    fill[: inside.shape[0]] = inside
-                    rows[start + r] = fill
+            # The sorted distances are ascending, so in-radius membership is
+            # a per-row prefix: the whole block reduces to a column-index
+            # compare against the per-row in-radius count, padding with the
+            # nearest point (PointNet++ convention: groups always have
+            # exactly k entries) -- no per-row inner loop.
+            inside_counts = (sorted_dist <= radius_sq).sum(axis=1)
+            truncated += int((inside_counts > neighbors).sum())
+            padded += int((inside_counts < neighbors).sum())
+            rows[start : start + block_idx.shape[0]] = np.where(
+                column[None, :] < inside_counts[:, None],
+                order[:, :neighbors],
+                order[:, :1],
+            )
 
         counters = knn_counter_model(
             cloud.num_points, centroid_indices.shape[0], neighbors

@@ -13,6 +13,7 @@ import numpy as np
 from repro.core.metrics import OpCounters
 from repro.datastructuring.base import Gatherer, GatherResult
 from repro.geometry.pointcloud import PointCloud
+from repro.kernels import distance_chunk_rows, grouped_topk, pairwise_sq_dists
 
 
 def knn_counter_model(
@@ -56,25 +57,22 @@ class BruteForceKNN(Gatherer):
         points = cloud.points
         centroids = points[centroid_indices]
 
-        # Chunk over centroids to bound the (M, N) distance matrix memory.
+        # Chunk over centroids so the (M, N, 3) difference block stays inside
+        # the shared kernel memory budget.
         neighbor_rows = np.empty(
             (centroid_indices.shape[0], neighbors), dtype=np.intp
         )
-        chunk = 256
+        chunk = distance_chunk_rows(cloud.num_points)
         for start in range(0, centroid_indices.shape[0], chunk):
             block = centroids[start : start + chunk]
-            diff = block[:, None, :] - points[None, :, :]
-            dist = (diff**2).sum(axis=-1)
+            dist = pairwise_sq_dists(block, points)
             if not self._include_self:
                 rows = np.arange(block.shape[0])
                 dist[rows, centroid_indices[start : start + chunk]] = np.inf
-            order = np.argpartition(dist, kth=neighbors - 1, axis=1)[:, :neighbors]
-            # argpartition does not order the k results; sort them by distance
-            # so the nearest appears first (useful for ball-query-style caps).
-            part = np.take_along_axis(dist, order, axis=1)
-            inner = np.argsort(part, axis=1)
-            neighbor_rows[start : start + block.shape[0]] = np.take_along_axis(
-                order, inner, axis=1
+            # grouped_topk orders the k argpartition survivors by distance so
+            # the nearest appears first (useful for ball-query-style caps).
+            neighbor_rows[start : start + block.shape[0]] = grouped_topk(
+                dist, neighbors
             )
 
         counters = knn_counter_model(

@@ -19,6 +19,14 @@ which is the reduction plotted in Figure 15.
 The semi-approximate variant of Section VIII-A replaces step 5 with a random
 pick from the last shell, removing the remaining distance computations at a
 small accuracy cost.
+
+The expansion itself is batched across centroids: each round encodes the
+whole Chebyshev stencil for every still-active centroid in one vectorised
+pass (:meth:`repro.geometry.voxelgrid.VoxelGrid.shell_positions_batch`),
+gathers all bucket contents with one ragged gather, and computes the
+last-shell distances in one shot.  Results -- neighbor rows, counters, and
+per-centroid stage statistics -- are bit-identical to the retained
+per-centroid scalar reference (:func:`repro.kernels.reference.veg_scalar`).
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from repro.core.metrics import OpCounters
 from repro.datastructuring.base import Gatherer, GatherResult
 from repro.geometry.pointcloud import PointCloud
 from repro.geometry.voxelgrid import VoxelGrid, suggest_depth
+from repro.kernels import decode_cells, gather_ragged, segment_boundaries
 
 
 @dataclass
@@ -82,6 +91,23 @@ class VEGRunStats:
         if not self.per_centroid:
             return 0.0
         return float(np.mean([s.sorted_candidates for s in self.per_centroid]))
+
+
+@dataclass
+class _ExpansionPool:
+    """Flattened candidate points of a batched shell expansion.
+
+    ``flat_points[row_bounds[i] : row_bounds[i+1]]`` are centroid ``i``'s
+    candidates, ordered by shell radius then stencil enumeration then
+    bucket order -- exactly the concatenation order of the scalar
+    per-centroid expansion.
+    """
+
+    flat_points: np.ndarray
+    point_radius: np.ndarray
+    row_bounds: np.ndarray
+    last_radius: np.ndarray
+    voxels_visited: np.ndarray
 
 
 class VoxelExpandedGatherer(Gatherer):
@@ -147,104 +173,25 @@ class VoxelExpandedGatherer(Gatherer):
 
         counters = OpCounters()
         run_stats = VEGRunStats()
-        points = cloud.points
-        max_radius = grid.resolution  # expansion cannot exceed the grid size
+        num_centroids = centroid_indices.shape[0]
 
-        rows = np.empty((centroid_indices.shape[0], neighbors), dtype=np.intp)
-        for row, centroid_index in enumerate(centroid_indices):
-            stats = VEGStageStats()
-            target = points[centroid_index]
-            # Stage FP + LV: fetch the central point and locate its voxel.
-            counters.onchip_reads += 1
-            center_code = grid.voxel_of_point(int(centroid_index))
-            counters.node_visits += 1
+        # Stage FP + LV for every centroid: fetch the central point and
+        # locate its voxel.
+        center_codes = grid.codes[centroid_indices]
+        center_cells = decode_cells(center_codes, depth)
+        counters.onchip_reads += num_centroids
+        counters.node_visits += num_centroids
 
-            if self._ball_radius is not None:
-                rows[row] = self._gather_ball(
-                    grid, points, target, center_code, int(centroid_index),
-                    neighbors, counters, stats,
-                )
-                run_stats.per_centroid.append(stats)
-                continue
-
-            # Stage VE: expand shells until >= K points are covered.
-            gathered: List[np.ndarray] = []
-            gathered_count = 0
-            shells: List[np.ndarray] = []
-            radius = 0
-            while gathered_count < neighbors and radius <= max_radius:
-                shell_codes = grid.shell_codes(center_code, radius)
-                stats.voxels_visited += max(1, len(shell_codes))
-                counters.node_visits += max(1, len(shell_codes))
-                if shell_codes:
-                    shell_points = np.concatenate(
-                        [grid.points_in_voxel(code) for code in shell_codes]
-                    )
-                else:
-                    shell_points = np.zeros(0, dtype=np.intp)
-                shells.append(shell_points)
-                gathered_count += shell_points.shape[0]
-                radius += 1
-            stats.expansions = max(0, len(shells) - 1)
-
-            # Stage GP: inner shells are taken wholesale.
-            inner = (
-                np.concatenate(shells[:-1]) if len(shells) > 1
-                else np.zeros(0, dtype=np.intp)
+        if self._ball_radius is not None:
+            rows = self._gather_ball_batch(
+                grid, cloud, centroid_indices, center_cells, neighbors,
+                counters, run_stats,
             )
-            last_shell = shells[-1] if shells else np.zeros(0, dtype=np.intp)
-            stats.inner_points = int(inner.shape[0])
-            stats.last_shell_points = int(last_shell.shape[0])
-            counters.host_memory_reads += int(inner.shape[0])
-
-            still_needed = neighbors - inner.shape[0]
-            if still_needed <= 0:
-                # The inner shells alone overshot (can only happen when the
-                # seed voxel itself holds >= K points); keep the nearest K
-                # of the seed-voxel points, which requires sorting them.
-                candidates = inner
-                dist = ((points[candidates] - target) ** 2).sum(axis=1)
-                counters.distance_computations += candidates.shape[0]
-                counters.compare_ops += candidates.shape[0]
-                stats.sorted_candidates = int(candidates.shape[0])
-                order = np.argsort(dist)[:neighbors]
-                selection = candidates[order]
-            else:
-                # Stage ST: sort only the last shell.
-                if self._semi_approximate:
-                    stats.sorted_candidates = 0
-                    if last_shell.shape[0] <= still_needed:
-                        tail = last_shell
-                    else:
-                        tail = rng.choice(
-                            last_shell, size=still_needed, replace=False
-                        )
-                    counters.host_memory_reads += int(tail.shape[0])
-                else:
-                    dist = ((points[last_shell] - target) ** 2).sum(axis=1)
-                    counters.distance_computations += last_shell.shape[0]
-                    counters.compare_ops += last_shell.shape[0]
-                    counters.host_memory_reads += int(last_shell.shape[0])
-                    stats.sorted_candidates = int(last_shell.shape[0])
-                    order = np.argsort(dist)[:still_needed]
-                    tail = last_shell[order]
-                selection = np.concatenate([inner, tail])
-                if selection.shape[0] < neighbors:
-                    # Grid exhausted before K points were found (tiny clouds
-                    # or boundary centroids in the semi-approximate mode):
-                    # pad with the nearest gathered point, mirroring the
-                    # ball-query padding convention.
-                    pad = np.full(
-                        neighbors - selection.shape[0],
-                        selection[0] if selection.shape[0] else centroid_index,
-                        dtype=np.intp,
-                    )
-                    selection = np.concatenate([selection, pad])
-
-            # Stage BF: write the K gathered points to the input buffer.
-            counters.onchip_writes += neighbors
-            rows[row] = selection[:neighbors]
-            run_stats.per_centroid.append(stats)
+        else:
+            rows = self._gather_knn_batch(
+                grid, cloud, centroid_indices, center_cells, neighbors,
+                rng, counters, run_stats,
+            )
 
         return GatherResult(
             neighbor_indices=rows,
@@ -260,60 +207,257 @@ class VoxelExpandedGatherer(Gatherer):
         )
 
     # ------------------------------------------------------------------
-    def _gather_ball(
+    def _expand(
         self,
         grid: VoxelGrid,
-        points: np.ndarray,
-        target: np.ndarray,
-        center_code: int,
-        centroid_index: int,
+        center_cells: np.ndarray,
+        target_counts: Optional[np.ndarray],
+        max_radius: int,
+        counters: OpCounters,
+    ) -> _ExpansionPool:
+        """Batched stage VE: expand shells for all centroids at once.
+
+        Per round, every still-active centroid's Chebyshev stencil is
+        encoded and looked up in one pass.  A centroid stays active while
+        its gathered total is below ``target_counts`` (or, when that is
+        ``None``, until ``max_radius`` is exhausted -- the ball-query
+        variant, whose shell count is fixed up front).
+        """
+        num_centroids = center_cells.shape[0]
+        active = np.arange(num_centroids, dtype=np.intp)
+        gathered = np.zeros(num_centroids, dtype=np.int64)
+        last_radius = np.zeros(num_centroids, dtype=np.int64)
+        voxels_visited = np.zeros(num_centroids, dtype=np.int64)
+
+        row_records: List[np.ndarray] = []
+        position_records: List[np.ndarray] = []
+        radius_records: List[np.ndarray] = []
+
+        radius = 0
+        while active.size and radius <= max_radius:
+            positions, found = grid.shell_positions_batch(
+                center_cells[active], radius
+            )
+            shell_voxels = found.sum(axis=1)
+            shell_points = np.where(found, grid.counts[positions], 0).sum(axis=1)
+            visited = np.maximum(1, shell_voxels)
+            voxels_visited[active] += visited
+            counters.node_visits += int(visited.sum())
+            gathered[active] += shell_points
+
+            rows_flat = np.repeat(active, shell_voxels)
+            row_records.append(rows_flat)
+            position_records.append(positions[found])
+            radius_records.append(
+                np.full(rows_flat.shape[0], radius, dtype=np.int64)
+            )
+
+            if target_counts is None:
+                last_radius[active] = radius
+            else:
+                done = gathered[active] >= target_counts[active]
+                last_radius[active[done]] = radius
+                active = active[~done]
+            radius += 1
+        if target_counts is not None and active.size:
+            # Grid exhausted before the targets were met; the final shell
+            # appended is the one at max_radius.
+            last_radius[active] = radius - 1
+
+        rows_all = np.concatenate(row_records) if row_records else np.zeros(0, dtype=np.intp)
+        positions_all = np.concatenate(position_records) if position_records else np.zeros(0, dtype=np.intp)
+        radius_all = np.concatenate(radius_records) if radius_records else np.zeros(0, dtype=np.int64)
+
+        # Group the visited voxels by centroid; the stable sort preserves the
+        # radius-then-stencil enumeration order inside each group, so the
+        # flattened candidates match the scalar shell concatenation exactly.
+        grouped = np.argsort(rows_all, kind="stable")
+        rows_sorted = rows_all[grouped]
+        positions_sorted = positions_all[grouped]
+        radius_sorted = radius_all[grouped]
+
+        flat_points, voxel_segment = gather_ragged(
+            grid.order,
+            grid.starts[positions_sorted],
+            grid.counts[positions_sorted],
+        )
+        point_row = rows_sorted[voxel_segment]
+        point_radius = radius_sorted[voxel_segment]
+        row_bounds = segment_boundaries(point_row, num_centroids)
+        return _ExpansionPool(
+            flat_points=flat_points,
+            point_radius=point_radius,
+            row_bounds=row_bounds,
+            last_radius=last_radius,
+            voxels_visited=voxels_visited,
+        )
+
+    # ------------------------------------------------------------------
+    def _gather_knn_batch(
+        self,
+        grid: VoxelGrid,
+        cloud: PointCloud,
+        centroid_indices: np.ndarray,
+        center_cells: np.ndarray,
+        neighbors: int,
+        rng: np.random.Generator,
+        counters: OpCounters,
+        run_stats: VEGRunStats,
+    ) -> np.ndarray:
+        points = cloud.points
+        num_centroids = centroid_indices.shape[0]
+        targets = np.full(num_centroids, neighbors, dtype=np.int64)
+        pool = self._expand(
+            grid, center_cells, targets, grid.resolution, counters
+        )
+
+        # Within a centroid's slice the candidates are radius-ascending, so
+        # the inner shells are a prefix and the last shell the suffix.
+        total_counts = np.diff(pool.row_bounds)
+        point_rows = np.repeat(
+            np.arange(num_centroids, dtype=np.intp), total_counts
+        )
+        is_last = pool.point_radius == pool.last_radius[point_rows]
+        last_counts = np.bincount(
+            point_rows[is_last], minlength=num_centroids
+        ).astype(np.int64)
+        inner_counts = total_counts - last_counts
+        counters.host_memory_reads += int(inner_counts.sum())
+
+        # Stage ST: distances for the last-shell candidates only, in one
+        # vectorised pass over every centroid's shell.
+        exact = not self._semi_approximate
+        if exact:
+            last_points = pool.flat_points[is_last]
+            last_rows = point_rows[is_last]
+            last_dists = (
+                (points[last_points] - points[centroid_indices[last_rows]]) ** 2
+            ).sum(axis=1)
+            last_bounds = segment_boundaries(last_rows, num_centroids)
+            counters.distance_computations += int(last_counts.sum())
+            counters.compare_ops += int(last_counts.sum())
+            counters.host_memory_reads += int(last_counts.sum())
+        else:
+            last_dists = np.zeros(0)
+            last_bounds = np.zeros(num_centroids + 1, dtype=np.intp)
+
+        rows = np.empty((num_centroids, neighbors), dtype=np.intp)
+        for row in range(num_centroids):
+            start, end = pool.row_bounds[row], pool.row_bounds[row + 1]
+            inner_n = int(inner_counts[row])
+            inner = pool.flat_points[start : start + inner_n]
+            last_shell = pool.flat_points[start + inner_n : end]
+            still_needed = neighbors - inner_n
+
+            if exact:
+                dist = last_dists[last_bounds[row] : last_bounds[row + 1]]
+                order = np.argsort(dist)[:still_needed]
+                tail = last_shell[order]
+            else:
+                if last_shell.shape[0] <= still_needed:
+                    tail = last_shell
+                else:
+                    tail = rng.choice(
+                        last_shell, size=still_needed, replace=False
+                    )
+                counters.host_memory_reads += int(tail.shape[0])
+            selection = np.concatenate([inner, tail])
+            if selection.shape[0] < neighbors:
+                # Grid exhausted before K points were found (tiny clouds or
+                # boundary centroids in the semi-approximate mode): pad with
+                # the nearest gathered point, mirroring the ball-query
+                # padding convention.
+                pad = np.full(
+                    neighbors - selection.shape[0],
+                    selection[0] if selection.shape[0] else centroid_indices[row],
+                    dtype=np.intp,
+                )
+                selection = np.concatenate([selection, pad])
+
+            # Stage BF: write the K gathered points to the input buffer.
+            counters.onchip_writes += neighbors
+            rows[row] = selection[:neighbors]
+            run_stats.per_centroid.append(
+                VEGStageStats(
+                    expansions=int(pool.last_radius[row]),
+                    inner_points=inner_n,
+                    last_shell_points=int(last_counts[row]),
+                    sorted_candidates=int(last_counts[row]) if exact else 0,
+                    voxels_visited=int(pool.voxels_visited[row]),
+                )
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    def _gather_ball_batch(
+        self,
+        grid: VoxelGrid,
+        cloud: PointCloud,
+        centroid_indices: np.ndarray,
+        center_cells: np.ndarray,
         neighbors: int,
         counters: OpCounters,
-        stats: VEGStageStats,
+        run_stats: VEGRunStats,
     ) -> np.ndarray:
         """Ball-query gathering: expand only as far as the ball reaches.
 
-        The number of shells needed is fixed by the ball radius and the voxel
-        edge length, so the expansion never depends on the input cloud size;
-        every candidate inside the covered shells is distance-checked against
-        the radius and at most K of the in-ball points are kept.
+        The number of shells is fixed by the ball radius and the voxel edge
+        length, so the expansion never depends on the input cloud size;
+        every candidate inside the covered shells is distance-checked
+        against the radius and at most K of the in-ball points are kept.
         """
+        points = cloud.points
+        num_centroids = centroid_indices.shape[0]
         radius = float(self._ball_radius)
         cell = float(grid.cell_size().min())
-        shell_limit = min(grid.resolution, int(np.ceil(radius / max(cell, 1e-12))) + 1)
-
-        candidates: List[np.ndarray] = []
-        for shell in range(shell_limit + 1):
-            shell_codes = grid.shell_codes(center_code, shell)
-            stats.voxels_visited += max(1, len(shell_codes))
-            counters.node_visits += max(1, len(shell_codes))
-            if shell_codes:
-                candidates.append(
-                    np.concatenate([grid.points_in_voxel(c) for c in shell_codes])
-                )
-        stats.expansions = shell_limit
-        pool = (
-            np.concatenate(candidates) if candidates else np.zeros(0, dtype=np.intp)
+        shell_limit = min(
+            grid.resolution, int(np.ceil(radius / max(cell, 1e-12))) + 1
         )
+        pool = self._expand(grid, center_cells, None, shell_limit, counters)
 
-        dist = ((points[pool] - target) ** 2).sum(axis=1)
-        counters.distance_computations += pool.shape[0]
-        counters.compare_ops += pool.shape[0]
-        counters.host_memory_reads += int(pool.shape[0])
-        stats.last_shell_points = int(pool.shape[0])
-        stats.sorted_candidates = int(pool.shape[0])
+        pool_counts = np.diff(pool.row_bounds)
+        point_rows = np.repeat(
+            np.arange(num_centroids, dtype=np.intp), pool_counts
+        )
+        dists = (
+            (points[pool.flat_points] - points[centroid_indices[point_rows]])
+            ** 2
+        ).sum(axis=1)
+        counters.distance_computations += int(pool_counts.sum())
+        counters.compare_ops += int(pool_counts.sum())
+        counters.host_memory_reads += int(pool_counts.sum())
 
-        inside = pool[dist <= radius**2]
-        inside_dist = dist[dist <= radius**2]
-        order = np.argsort(inside_dist)
-        inside = inside[order]
-        if inside.shape[0] >= neighbors:
-            selection = inside[:neighbors]
-        else:
-            # PointNet++ convention: pad with the nearest in-ball point (or
-            # the centroid itself when the ball is empty).
-            fill_value = inside[0] if inside.shape[0] else centroid_index
-            pad = np.full(neighbors - inside.shape[0], fill_value, dtype=np.intp)
-            selection = np.concatenate([inside, pad])
-        counters.onchip_writes += neighbors
-        return selection
+        radius_sq = radius**2
+        rows = np.empty((num_centroids, neighbors), dtype=np.intp)
+        for row in range(num_centroids):
+            start, end = pool.row_bounds[row], pool.row_bounds[row + 1]
+            candidates = pool.flat_points[start:end]
+            dist = dists[start:end]
+            inside = candidates[dist <= radius_sq]
+            inside_dist = dist[dist <= radius_sq]
+            order = np.argsort(inside_dist)
+            inside = inside[order]
+            if inside.shape[0] >= neighbors:
+                selection = inside[:neighbors]
+            else:
+                # PointNet++ convention: pad with the nearest in-ball point
+                # (or the centroid itself when the ball is empty).
+                fill_value = (
+                    inside[0] if inside.shape[0] else centroid_indices[row]
+                )
+                pad = np.full(
+                    neighbors - inside.shape[0], fill_value, dtype=np.intp
+                )
+                selection = np.concatenate([inside, pad])
+            counters.onchip_writes += neighbors
+            rows[row] = selection
+            run_stats.per_centroid.append(
+                VEGStageStats(
+                    expansions=shell_limit,
+                    inner_points=0,
+                    last_shell_points=int(pool_counts[row]),
+                    sorted_candidates=int(pool_counts[row]),
+                    voxels_visited=int(pool.voxels_visited[row]),
+                )
+            )
+        return rows

@@ -21,6 +21,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.geometry.bbox import AxisAlignedBox
+from repro.kernels import encode_cells, popcount64
 
 #: Maximum supported octree depth.  3 bits per level; 21 levels keep codes
 #: inside 63 bits so they fit a signed int64 array without overflow.
@@ -93,14 +94,13 @@ def voxel_indices(
 def morton_encode_points(
     points: np.ndarray, box: AxisAlignedBox, depth: int
 ) -> np.ndarray:
-    """Vectorised m-code computation for an ``(N, 3)`` array of points."""
-    indices = voxel_indices(points, box, depth)
-    codes = np.zeros(indices.shape[0], dtype=np.int64)
-    for level in range(depth - 1, -1, -1):
-        codes = (codes << 1) | ((indices[:, 0] >> level) & 1)
-        codes = (codes << 1) | ((indices[:, 1] >> level) & 1)
-        codes = (codes << 1) | ((indices[:, 2] >> level) & 1)
-    return codes
+    """Vectorised m-code computation for an ``(N, 3)`` array of points.
+
+    All 21 levels are interleaved at once by the bit-spreading kernel
+    (:func:`repro.kernels.encode_cells`) instead of the per-level shift loop
+    retained in :func:`repro.kernels.reference.scalar_morton_encode_points`.
+    """
+    return encode_cells(voxel_indices(points, box, depth), depth)
 
 
 def voxel_center(code: int, depth: int, box: AxisAlignedBox) -> np.ndarray:
@@ -125,12 +125,7 @@ def hamming_distance(a: int | np.ndarray, b: int | np.ndarray) -> int | np.ndarr
     xor = np.bitwise_xor(a, b)
     if np.isscalar(xor) or isinstance(xor, (int, np.integer)):
         return int(bin(int(xor)).count("1"))
-    xor = np.asarray(xor, dtype=np.uint64)
-    count = np.zeros(xor.shape, dtype=np.int64)
-    while np.any(xor):
-        count += (xor & 1).astype(np.int64)
-        xor >>= np.uint64(1)
-    return count
+    return popcount64(xor)
 
 
 def prefix_at_level(code: int, depth: int, level: int) -> int:

@@ -5,6 +5,11 @@ level: every point is assigned to the voxel given by its m-code at a fixed
 depth.  The VEG method's voxel expansion (Section VI) and the voxel-grid
 down-sampling baseline both operate on this structure, so it is factored out
 of the octree proper.
+
+The grid is array-backed (stable sort order + unique codes + bucket
+starts/counts from :mod:`repro.kernels.bucketing`); voxel membership is a
+``searchsorted`` and shell enumeration is one vectorised encode over the
+precomputed Chebyshev offset stencil rather than a per-voxel Python loop.
 """
 
 from __future__ import annotations
@@ -17,6 +22,78 @@ import numpy as np
 from repro.geometry.bbox import AxisAlignedBox
 from repro.geometry.morton import morton_encode_points, voxel_indices
 from repro.geometry.pointcloud import PointCloud
+from repro.kernels import (
+    bucketize_codes,
+    decode_cells,
+    encode_cells,
+    lookup_sorted,
+)
+
+#: Cache of Chebyshev shell offset stencils: radius -> (S, 3) int64 array in
+#: the (dx, dy, dz) lexicographic enumeration order of the scalar reference.
+#: Only small radii are retained; the stencil size is O(r^2), so an
+#: unbounded cache over a deep expansion would approach the full-cube O(R^3)
+#: footprint.
+_SHELL_OFFSET_CACHE: Dict[int, np.ndarray] = {}
+_SHELL_OFFSET_CACHE_MAX_RADIUS = 32
+
+
+def _shell_ring_2d(radius: int) -> np.ndarray:
+    """The 2-D Chebyshev ring at ``radius`` in (dy, dz) lexicographic order."""
+    span = np.arange(-radius, radius + 1, dtype=np.int64)
+    interior = span[1:-1]
+    blocks = [
+        np.stack([np.full(span.shape[0], -radius, dtype=np.int64), span], axis=1)
+    ]
+    if interior.size:
+        edges = np.empty((interior.shape[0] * 2, 2), dtype=np.int64)
+        edges[0::2, 0] = interior
+        edges[0::2, 1] = -radius
+        edges[1::2, 0] = interior
+        edges[1::2, 1] = radius
+        blocks.append(edges)
+    blocks.append(
+        np.stack([np.full(span.shape[0], radius, dtype=np.int64), span], axis=1)
+    )
+    return np.concatenate(blocks)
+
+
+def shell_offsets(radius: int) -> np.ndarray:
+    """Integer offsets of the Chebyshev shell at ``radius``, stencil-ordered.
+
+    ``radius = 0`` is the single centre offset; ``radius = 1`` the 26
+    touching voxels, enumerated in the same nested ``dx, dy, dz`` order as
+    the scalar triple loop so downstream gathers see candidates in an
+    identical sequence.  Only the shell itself is materialised (O(r^2)
+    memory), never the enclosing cube.
+    """
+    if radius < 0:
+        raise ValueError("radius must be >= 0")
+    cached = _SHELL_OFFSET_CACHE.get(radius)
+    if cached is not None:
+        return cached
+    if radius == 0:
+        offsets = np.zeros((1, 3), dtype=np.int64)
+    else:
+        span = np.arange(-radius, radius + 1, dtype=np.int64)
+        face = np.stack(
+            np.meshgrid(span, span, indexing="ij"), axis=-1
+        ).reshape(-1, 2)
+        ring = _shell_ring_2d(radius)
+        blocks = []
+        for dx in span:
+            plane = face if abs(int(dx)) == radius else ring
+            block = np.empty((plane.shape[0], 3), dtype=np.int64)
+            block[:, 0] = dx
+            block[:, 1:] = plane
+            blocks.append(block)
+        offsets = np.concatenate(blocks)
+    # The stencil is shared process-wide; freeze it so no caller can corrupt
+    # the cached enumeration order.
+    offsets.setflags(write=False)
+    if radius <= _SHELL_OFFSET_CACHE_MAX_RADIUS:
+        _SHELL_OFFSET_CACHE[radius] = offsets
+    return offsets
 
 
 @dataclass
@@ -27,7 +104,13 @@ class VoxelGrid:
     depth: int
     box: AxisAlignedBox
     codes: np.ndarray = field(repr=False)
-    _buckets: Dict[int, np.ndarray] = field(repr=False)
+    #: Stable ascending-code permutation of the point indices.
+    order: np.ndarray = field(repr=False)
+    #: Sorted m-codes of the occupied voxels.
+    unique_codes: np.ndarray = field(repr=False)
+    #: Bucket ``i`` holds ``order[starts[i] : starts[i] + counts[i]]``.
+    starts: np.ndarray = field(repr=False)
+    counts: np.ndarray = field(repr=False)
 
     @classmethod
     def build(
@@ -40,15 +123,17 @@ class VoxelGrid:
         if box is None:
             box = cloud.bounds().as_cube()
         codes = morton_encode_points(cloud.points, box, depth)
-        order = np.argsort(codes, kind="stable")
-        sorted_codes = codes[order]
-        buckets: Dict[int, np.ndarray] = {}
-        if len(sorted_codes):
-            unique_codes, starts = np.unique(sorted_codes, return_index=True)
-            ends = np.append(starts[1:], len(sorted_codes))
-            for code, start, end in zip(unique_codes, starts, ends):
-                buckets[int(code)] = order[start:end]
-        return cls(cloud=cloud, depth=depth, box=box, codes=codes, _buckets=buckets)
+        order, unique_codes, starts, counts = bucketize_codes(codes)
+        return cls(
+            cloud=cloud,
+            depth=depth,
+            box=box,
+            codes=codes,
+            order=order,
+            unique_codes=unique_codes,
+            starts=starts,
+            counts=counts,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -58,15 +143,31 @@ class VoxelGrid:
 
     @property
     def num_occupied_voxels(self) -> int:
-        return len(self._buckets)
+        return int(self.unique_codes.shape[0])
 
     def occupied_codes(self) -> np.ndarray:
-        """Sorted m-codes of the non-empty voxels."""
-        return np.array(sorted(self._buckets.keys()), dtype=np.int64)
+        """Sorted m-codes of the non-empty voxels (read-only view)."""
+        view = self.unique_codes.view()
+        view.flags.writeable = False
+        return view
+
+    def bucket_position(self, code: int) -> int:
+        """Index of voxel ``code`` in the occupied-voxel arrays, or -1."""
+        position = int(np.searchsorted(self.unique_codes, code))
+        if (
+            position < self.num_occupied_voxels
+            and int(self.unique_codes[position]) == int(code)
+        ):
+            return position
+        return -1
 
     def points_in_voxel(self, code: int) -> np.ndarray:
         """Indices (into the cloud) of the points inside voxel ``code``."""
-        return self._buckets.get(int(code), np.zeros(0, dtype=np.intp))
+        position = self.bucket_position(int(code))
+        if position < 0:
+            return np.zeros(0, dtype=np.intp)
+        start = self.starts[position]
+        return self.order[start : start + self.counts[position]]
 
     def voxel_of_point(self, index: int) -> int:
         """M-code of the voxel containing point ``index``."""
@@ -74,16 +175,51 @@ class VoxelGrid:
 
     def occupancy_histogram(self) -> Dict[int, int]:
         """Map ``code -> number of points`` for the occupied voxels."""
-        return {code: len(idx) for code, idx in self._buckets.items()}
+        return {
+            int(code): int(count)
+            for code, count in zip(self.unique_codes, self.counts)
+        }
 
     # ------------------------------------------------------------------
     # Neighbourhood queries used by VEG
     # ------------------------------------------------------------------
     def grid_coordinates(self, code: int) -> Tuple[int, int, int]:
         """Integer (ix, iy, iz) of a voxel code."""
-        from repro.geometry.morton import morton_decode
+        ix, iy, iz = decode_cells(np.asarray([code], dtype=np.int64), self.depth)[0]
+        return int(ix), int(iy), int(iz)
 
-        return morton_decode(code, self.depth)
+    def shell_positions_batch(
+        self, center_cells: np.ndarray, radius: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Occupied-voxel positions on one Chebyshev shell, for many centres.
+
+        Parameters
+        ----------
+        center_cells:
+            ``(M, 3)`` integer cells of the shell centres.
+        radius:
+            Chebyshev shell radius (0 = the centre voxel itself).
+
+        Returns
+        -------
+        ``(positions, found)`` of shape ``(M, S)`` where ``S`` is the stencil
+        size: ``positions`` indexes the occupied-voxel arrays and ``found``
+        masks in-bounds, occupied stencil entries.  Within each row the
+        stencil order matches the scalar ``shell_codes`` enumeration.
+        """
+        offsets = shell_offsets(radius)
+        coords = center_cells[:, None, :] + offsets[None, :, :]
+        in_bounds = np.logical_and(
+            coords >= 0, coords < self.resolution
+        ).all(axis=-1)
+        # Clip so the encoder never sees out-of-range cells; the mask drops
+        # the clipped entries afterwards.
+        clipped = np.clip(coords, 0, self.resolution - 1)
+        codes = encode_cells(clipped.reshape(-1, 3), self.depth).reshape(
+            in_bounds.shape
+        )
+        positions, occupied = lookup_sorted(self.unique_codes, codes)
+        return positions, in_bounds & occupied
 
     def shell_codes(self, center_code: int, radius: int) -> List[int]:
         """Occupied voxel codes on the Chebyshev shell at ``radius``.
@@ -95,29 +231,11 @@ class VoxelGrid:
         """
         if radius < 0:
             raise ValueError("radius must be >= 0")
-        cx, cy, cz = self.grid_coordinates(center_code)
-        if radius == 0:
-            return [center_code] if center_code in self._buckets else []
-        from repro.geometry.morton import morton_encode
-
-        resolution = self.resolution
-        found: List[int] = []
-        for dx in range(-radius, radius + 1):
-            for dy in range(-radius, radius + 1):
-                for dz in range(-radius, radius + 1):
-                    if max(abs(dx), abs(dy), abs(dz)) != radius:
-                        continue
-                    ix, iy, iz = cx + dx, cy + dy, cz + dz
-                    if not (
-                        0 <= ix < resolution
-                        and 0 <= iy < resolution
-                        and 0 <= iz < resolution
-                    ):
-                        continue
-                    code = morton_encode(ix, iy, iz, self.depth)
-                    if code in self._buckets:
-                        found.append(code)
-        return found
+        center_cell = decode_cells(
+            np.asarray([center_code], dtype=np.int64), self.depth
+        )
+        positions, found = self.shell_positions_batch(center_cell, radius)
+        return [int(c) for c in self.unique_codes[positions[0][found[0]]]]
 
     def points_in_shells(
         self, center_code: int, max_radius: int
@@ -158,4 +276,4 @@ def suggest_depth(num_points: int, target_points_per_voxel: float = 4.0) -> int:
     return depth
 
 
-__all__ = ["VoxelGrid", "suggest_depth", "voxel_indices"]
+__all__ = ["VoxelGrid", "shell_offsets", "suggest_depth", "voxel_indices"]

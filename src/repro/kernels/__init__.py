@@ -1,0 +1,73 @@
+"""Vectorized NumPy primitive layer for the sampling/gathering hot paths.
+
+The paper's thesis is that data structuring, sampling, and gathering dominate
+end-to-end point-cloud inference latency; this package makes the functional
+reproductions of exactly those stages fast.  Every primitive here is a pure
+array transformation with an **exact-equivalence contract**: for the same
+inputs it must produce bit-identical results (indices, codes, counters) to
+the scalar implementations retained in :mod:`repro.kernels.reference`, which
+are the frozen pre-kernel-layer code paths.  ``benchmarks/run_all.py`` times
+the two sides against each other and records the speedups in
+``BENCH_kernels.json``.
+
+Modules
+-------
+``chunking``
+    The shared memory-budget-derived chunk-size helper used by every kernel
+    that materialises an ``(M, N)`` pairwise block.
+``morton``
+    Batched Morton (m-code) encode/decode via bit-spreading magic constants,
+    and XOR+popcount Hamming distance over int64 code arrays.
+``bucketing``
+    ``argsort``/``searchsorted``/``bincount``-based voxel bucketing and
+    ragged gathers (concatenating many variable-length buckets without a
+    Python loop).
+``distance``
+    Chunked pairwise squared distances and grouped top-k selection via
+    ``argpartition``.
+``reference``
+    The retained scalar reference implementations (not imported eagerly --
+    it depends on the higher-level geometry/octree modules).
+"""
+
+from repro.kernels.chunking import (
+    DEFAULT_CHUNK_BUDGET_BYTES,
+    distance_chunk_rows,
+    rows_per_chunk,
+)
+from repro.kernels.morton import (
+    decode_cells,
+    encode_cells,
+    encode_point_scalar,
+    hamming_codes,
+    popcount64,
+)
+from repro.kernels.bucketing import (
+    bucketize_codes,
+    gather_ragged,
+    lookup_sorted,
+    segment_boundaries,
+)
+from repro.kernels.distance import (
+    grouped_topk,
+    iter_distance_chunks,
+    pairwise_sq_dists,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_BUDGET_BYTES",
+    "distance_chunk_rows",
+    "rows_per_chunk",
+    "decode_cells",
+    "encode_cells",
+    "encode_point_scalar",
+    "hamming_codes",
+    "popcount64",
+    "bucketize_codes",
+    "gather_ragged",
+    "lookup_sorted",
+    "segment_boundaries",
+    "grouped_topk",
+    "iter_distance_chunks",
+    "pairwise_sq_dists",
+]

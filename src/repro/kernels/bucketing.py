@@ -1,0 +1,89 @@
+"""Leaf/voxel bucketing and ragged gathers without Python loops.
+
+An octree leaf level (or a flat voxel grid) is "points grouped by m-code".
+Before this layer, the builders looped over ``np.unique`` slices to fill a
+``dict[code, indices]``; the primitives here keep everything in four flat
+arrays (stable sort order, unique codes, bucket starts, bucket counts) so
+bucket membership is a ``searchsorted`` and multi-bucket gathers are one
+vectorised indexing expression.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def bucketize_codes(
+    codes: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Group element indices by code.
+
+    Returns ``(order, unique_codes, starts, counts)`` where ``order`` is the
+    stable ascending-code permutation of ``arange(len(codes))`` and bucket
+    ``i`` (code ``unique_codes[i]``) holds ``order[starts[i] : starts[i] +
+    counts[i]]``.  Within a bucket, original indices appear in ascending
+    order (the stable-sort guarantee the pre-kernel ``dict`` builders relied
+    on).
+    """
+    codes = np.asarray(codes)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    unique_codes, starts = np.unique(sorted_codes, return_index=True)
+    counts = np.diff(np.append(starts, sorted_codes.shape[0]))
+    return (
+        order,
+        unique_codes.astype(np.int64),
+        starts.astype(np.intp),
+        counts.astype(np.intp),
+    )
+
+
+def lookup_sorted(
+    sorted_codes: np.ndarray, queries: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Positions of ``queries`` in ``sorted_codes`` plus a found mask.
+
+    Positions of missing queries are clipped in-range (the mask tells the
+    caller to ignore them), so the result is always safe to index with.
+    """
+    queries = np.asarray(queries)
+    positions = np.searchsorted(sorted_codes, queries)
+    positions = np.minimum(positions, max(0, sorted_codes.shape[0] - 1))
+    if sorted_codes.shape[0] == 0:
+        return positions, np.zeros(queries.shape, dtype=bool)
+    found = sorted_codes[positions] == queries
+    return positions, found
+
+
+def gather_ragged(
+    values: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``values[starts[i] : starts[i] + counts[i]]`` for all i.
+
+    Returns ``(flat_values, segment_ids)``; ``segment_ids[j]`` is the bucket
+    number the j-th output element came from.  This is the vectorised
+    replacement for ``np.concatenate([buckets[c] for c in codes])``.
+    """
+    starts = np.asarray(starts, dtype=np.intp)
+    counts = np.asarray(counts, dtype=np.intp)
+    total = int(counts.sum())
+    if total == 0:
+        return (
+            np.zeros(0, dtype=np.asarray(values).dtype),
+            np.zeros(0, dtype=np.intp),
+        )
+    segment_ids = np.repeat(np.arange(counts.shape[0], dtype=np.intp), counts)
+    ends = np.cumsum(counts)
+    within = np.arange(total, dtype=np.intp) - np.repeat(ends - counts, counts)
+    flat_index = np.repeat(starts, counts) + within
+    return np.asarray(values)[flat_index], segment_ids
+
+
+def segment_boundaries(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Start offsets (length ``num_segments + 1``) of sorted segment ids."""
+    segment_ids = np.asarray(segment_ids)
+    return np.searchsorted(
+        segment_ids, np.arange(num_segments + 1, dtype=np.intp)
+    ).astype(np.intp)

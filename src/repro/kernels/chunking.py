@@ -1,0 +1,54 @@
+"""Memory-budget-derived chunk sizing.
+
+The brute-force gatherers materialise an ``(M, N, 3)`` difference block per
+chunk of centroids.  Before this layer existed, ``knn.py`` and
+``ballquery.py`` each hardcoded ``chunk = 256``, which at ``N = 100k`` points
+means a ~600 MB temporary.  Every chunked kernel now derives its block size
+from one shared budget constant so the working set stays cache-friendly and
+there is a single knob to turn.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Target size of the largest temporary a chunked kernel may materialise.
+#: 64 MiB keeps the difference block comfortably inside the last-level cache
+#: plus a small spill, while leaving each NumPy call enough rows to amortise
+#: dispatch overhead.
+DEFAULT_CHUNK_BUDGET_BYTES = 64 * 1024 * 1024
+
+
+def rows_per_chunk(
+    bytes_per_row: int,
+    budget_bytes: Optional[int] = None,
+    minimum: int = 1,
+    maximum: Optional[int] = None,
+) -> int:
+    """Number of rows that fit ``budget_bytes`` at ``bytes_per_row`` each."""
+    if bytes_per_row <= 0:
+        raise ValueError("bytes_per_row must be positive")
+    if minimum < 1:
+        raise ValueError("minimum must be >= 1")
+    budget = DEFAULT_CHUNK_BUDGET_BYTES if budget_bytes is None else budget_bytes
+    rows = max(minimum, budget // bytes_per_row)
+    if maximum is not None:
+        rows = min(rows, max(minimum, maximum))
+    return int(rows)
+
+
+def distance_chunk_rows(
+    num_points: int,
+    dims: int = 3,
+    itemsize: int = 8,
+    budget_bytes: Optional[int] = None,
+) -> int:
+    """Centroid rows per chunk for an ``(rows, num_points, dims)`` block.
+
+    The budget covers the dominant temporary (the broadcast difference block)
+    plus the reduced ``(rows, num_points)`` distance matrix.
+    """
+    if num_points <= 0:
+        raise ValueError("num_points must be positive")
+    bytes_per_row = num_points * itemsize * (dims + 1)
+    return rows_per_chunk(bytes_per_row, budget_bytes=budget_bytes)

@@ -1,0 +1,165 @@
+"""Batched Morton-code primitives.
+
+The scalar encoders in :mod:`repro.geometry.morton` interleave bits one
+level at a time; at paper-scale frame sizes that loop (and the per-point
+Python variant in :mod:`repro.kernels.reference`) is a hot path.  The
+kernels here spread/compact all 21 levels at once with the classic
+bit-twiddling magic constants, and compute Hamming distances over whole
+int64 code arrays with a single XOR + popcount.
+
+Bit convention (matches ``repro.geometry.morton``): within every 3-bit
+group the X bit is most significant, then Y, then Z, i.e. the X bit of
+level ``l`` sits at position ``3*l + 2``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+#: 3 bits per level; 21 levels keep codes inside 63 bits (signed int64).
+MAX_DEPTH = 21
+
+_U = np.uint64
+
+# Bit-spreading masks: place the 21 low bits of a coordinate at every third
+# bit position (0, 3, 6, ...) of a 64-bit word.
+_SPREAD_MASKS = (
+    (_U(32), _U(0x1F00000000FFFF)),
+    (_U(16), _U(0x1F0000FF0000FF)),
+    (_U(8), _U(0x100F00F00F00F00F)),
+    (_U(4), _U(0x10C30C30C30C30C3)),
+    (_U(2), _U(0x1249249249249249)),
+)
+
+
+def popcount64(values: np.ndarray) -> np.ndarray:
+    """Per-element popcount of an integer array, as int64."""
+    arr = np.asarray(values).astype(np.uint64, copy=False)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(arr).astype(np.int64)
+    # SWAR fallback for NumPy < 2.0.
+    v = arr.copy()
+    v = v - ((v >> _U(1)) & _U(0x5555555555555555))
+    v = (v & _U(0x3333333333333333)) + ((v >> _U(2)) & _U(0x3333333333333333))
+    v = (v + (v >> _U(4))) & _U(0x0F0F0F0F0F0F0F0F)
+    return ((v * _U(0x0101010101010101)) >> _U(56)).astype(np.int64)
+
+
+def hamming_codes(a: np.ndarray, b: "np.ndarray | int") -> np.ndarray:
+    """XOR + popcount Hamming distance over int64 m-code arrays."""
+    xor = np.bitwise_xor(np.asarray(a, dtype=np.int64), np.int64(b) if np.isscalar(b) else np.asarray(b, dtype=np.int64))
+    return popcount64(xor)
+
+
+def _spread_bits(v: np.ndarray) -> np.ndarray:
+    v = v & _U(0x1FFFFF)
+    for shift, mask in _SPREAD_MASKS:
+        v = (v | (v << shift)) & mask
+    return v
+
+
+_COMPACT_MASKS = (
+    (_U(2), _U(0x10C30C30C30C30C3)),
+    (_U(4), _U(0x100F00F00F00F00F)),
+    (_U(8), _U(0x1F0000FF0000FF)),
+    (_U(16), _U(0x1F00000000FFFF)),
+    (_U(32), _U(0x1FFFFF)),
+)
+
+
+def _compact_bits(v: np.ndarray) -> np.ndarray:
+    v = v & _U(0x1249249249249249)
+    for shift, mask in _COMPACT_MASKS:
+        v = (v ^ (v >> shift)) & mask
+    return v
+
+
+def _check_depth(depth: int) -> None:
+    if not 1 <= depth <= MAX_DEPTH:
+        raise ValueError(f"depth must be in [1, {MAX_DEPTH}]; got {depth}")
+
+
+def encode_cells(cells: np.ndarray, depth: int) -> np.ndarray:
+    """Interleave an ``(N, 3)`` array of integer voxel indices into m-codes.
+
+    Equivalent to calling :func:`repro.geometry.morton.morton_encode` per
+    row, but all levels are spread at once.
+    """
+    _check_depth(depth)
+    cells = np.asarray(cells, dtype=np.int64)
+    limit = np.int64(1) << np.int64(depth)
+    if cells.size and (cells.min() < 0 or cells.max() >= limit):
+        raise ValueError(f"cell indices outside [0, {int(limit)})")
+    u = cells.astype(np.uint64)
+    code = (
+        (_spread_bits(u[..., 0]) << _U(2))
+        | (_spread_bits(u[..., 1]) << _U(1))
+        | _spread_bits(u[..., 2])
+    )
+    return code.astype(np.int64)
+
+
+def decode_cells(codes: np.ndarray, depth: int) -> np.ndarray:
+    """Inverse of :func:`encode_cells`: ``(N,)`` codes to ``(N, 3)`` cells."""
+    _check_depth(depth)
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.size and (codes.min() < 0 or codes.max() >= (1 << (3 * depth))):
+        raise ValueError("code outside the range implied by depth")
+    u = codes.astype(np.uint64)
+    cells = np.stack(
+        [
+            _compact_bits(u >> _U(2)),
+            _compact_bits(u >> _U(1)),
+            _compact_bits(u),
+        ],
+        axis=-1,
+    )
+    return cells.astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Scalar fast path (pure Python ints/floats)
+# ----------------------------------------------------------------------
+_PY_SPREAD_MASKS = tuple((int(s), int(m)) for s, m in _SPREAD_MASKS)
+
+
+def _spread_bits_scalar(v: int) -> int:
+    v &= 0x1FFFFF
+    for shift, mask in _PY_SPREAD_MASKS:
+        v = (v | (v << shift)) & mask
+    return v
+
+
+def encode_point_scalar(
+    point: Tuple[float, float, float],
+    box_min: Tuple[float, float, float],
+    extent: Tuple[float, float, float],
+    depth: int,
+) -> int:
+    """Encode ONE point without any NumPy call.
+
+    Exactly matches :func:`repro.geometry.morton.morton_encode_points` for a
+    single point (IEEE-double arithmetic in the same operation order, then
+    the same floor/clip), but runs in a few microseconds.  OIS calls this
+    once per sample to encode the virtual summary point; going through the
+    array path there costs ~50x more in NumPy dispatch overhead.
+
+    ``extent`` must already have zero sizes replaced by 1.0 (the
+    ``voxel_indices`` convention).
+    """
+    _check_depth(depth)
+    resolution = 1 << depth
+    top = resolution - 1
+    cells = []
+    for axis in range(3):
+        relative = (float(point[axis]) - float(box_min[axis])) / float(extent[axis])
+        cell = int(math.floor(relative * resolution))
+        cells.append(min(max(cell, 0), top))
+    return (
+        (_spread_bits_scalar(cells[0]) << 2)
+        | (_spread_bits_scalar(cells[1]) << 1)
+        | _spread_bits_scalar(cells[2])
+    )

@@ -1,0 +1,551 @@
+"""Frozen scalar reference implementations of the hot paths.
+
+This module preserves, verbatim in behaviour, the pre-kernel-layer code of
+the sampling/gathering stages: per-leaf Python loops in the octree builder,
+per-level dict walks in OIS, per-centroid shell expansion in VEG, the
+per-row inner loop of the brute-force ball query, and sqrt-based FPS.  The
+vectorized implementations in the library proper carry an **exact
+equivalence contract** against these functions: same selected indices, same
+neighbor rows, same operation counters, bit for bit.
+
+``benchmarks/run_all.py`` times each vectorized kernel against its scalar
+reference and records the speedups in ``BENCH_kernels.json``;
+``tests/test_kernels.py`` asserts the equivalence.  Nothing in the runtime
+pipeline imports this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.metrics import OpCounters
+from repro.geometry.bbox import AxisAlignedBox
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.voxelgrid import suggest_depth, voxel_indices
+from repro.octree.builder import Octree, OctreeBuildStats
+from repro.octree.node import OctreeNode
+
+
+# ----------------------------------------------------------------------
+# Scalar Morton / Hamming primitives (pre-kernel implementations)
+# ----------------------------------------------------------------------
+def scalar_hamming(a: int, b: int) -> int:
+    """Popcount of ``a XOR b`` via Python string counting."""
+    return int(bin(int(a) ^ int(b)).count("1"))
+
+
+def scalar_hamming_array(a: np.ndarray, b: "np.ndarray | int") -> np.ndarray:
+    """The pre-kernel shift-and-mask popcount loop over code arrays."""
+    xor = np.asarray(np.bitwise_xor(a, b), dtype=np.uint64)
+    count = np.zeros(xor.shape, dtype=np.int64)
+    while np.any(xor):
+        count += (xor & 1).astype(np.int64)
+        xor >>= np.uint64(1)
+    return count
+
+
+def scalar_morton_encode_points(
+    points: np.ndarray, box: AxisAlignedBox, depth: int
+) -> np.ndarray:
+    """The pre-kernel per-level interleaving loop."""
+    indices = voxel_indices(points, box, depth)
+    codes = np.zeros(indices.shape[0], dtype=np.int64)
+    for level in range(depth - 1, -1, -1):
+        codes = (codes << 1) | ((indices[:, 0] >> level) & 1)
+        codes = (codes << 1) | ((indices[:, 1] >> level) & 1)
+        codes = (codes << 1) | ((indices[:, 2] >> level) & 1)
+    return codes
+
+
+def scalar_morton_encode(ix: int, iy: int, iz: int, depth: int) -> int:
+    code = 0
+    for level in range(depth - 1, -1, -1):
+        code = (code << 1) | ((ix >> level) & 1)
+        code = (code << 1) | ((iy >> level) & 1)
+        code = (code << 1) | ((iz >> level) & 1)
+    return code
+
+
+def scalar_morton_decode(code: int, depth: int) -> Tuple[int, int, int]:
+    ix = iy = iz = 0
+    for level in range(depth):
+        shift = 3 * (depth - 1 - level)
+        group = (code >> shift) & 0b111
+        ix = (ix << 1) | ((group >> 2) & 1)
+        iy = (iy << 1) | ((group >> 1) & 1)
+        iz = (iz << 1) | (group & 1)
+    return ix, iy, iz
+
+
+def _prefix_at_level(code: int, depth: int, level: int) -> int:
+    return code >> (3 * (depth - level))
+
+
+# ----------------------------------------------------------------------
+# Dict-based bucketing (pre-kernel VoxelGrid.build inner loop)
+# ----------------------------------------------------------------------
+def dict_bucketize(codes: np.ndarray) -> Dict[int, np.ndarray]:
+    """Group indices by code into a dict, one ``np.unique`` slice at a time."""
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    buckets: Dict[int, np.ndarray] = {}
+    if len(sorted_codes):
+        unique_codes, starts = np.unique(sorted_codes, return_index=True)
+        ends = np.append(starts[1:], len(sorted_codes))
+        for code, start, end in zip(unique_codes, starts, ends):
+            buckets[int(code)] = order[start:end]
+    return buckets
+
+
+# ----------------------------------------------------------------------
+# Octree construction (pre-kernel per-leaf insertion walk)
+# ----------------------------------------------------------------------
+def _insert_leaf_scalar(
+    root: OctreeNode, leaf_code: int, depth: int
+) -> OctreeNode:
+    node = root
+    for level in range(1, depth + 1):
+        prefix = _prefix_at_level(leaf_code, depth, level)
+        octant = prefix & 0b111
+        child = node.child(octant)
+        if child is None:
+            child = OctreeNode(
+                code=prefix,
+                level=level,
+                box=node.box.octant(octant),
+            )
+            node.children[octant] = child
+        node = child
+    return node
+
+
+def build_octree_scalar(
+    cloud: PointCloud,
+    depth: int,
+    box: Optional[AxisAlignedBox] = None,
+    padding: float = 1e-9,
+) -> Octree:
+    """The pre-kernel ``Octree.build``: one root-to-leaf walk per leaf."""
+    if cloud.num_points == 0:
+        raise ValueError("cannot build an octree over an empty cloud")
+    if box is None:
+        box = cloud.bounds().as_cube(padding=padding)
+
+    codes = scalar_morton_encode_points(cloud.points, box, depth)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+
+    stats = OctreeBuildStats(num_points=cloud.num_points, depth=depth)
+    stats.host_memory_reads += cloud.num_points
+    stats.host_memory_writes += cloud.num_points
+
+    root = OctreeNode(code=0, level=0, box=box)
+    leaf_lookup: Dict[int, OctreeNode] = {}
+
+    unique_codes, starts = np.unique(sorted_codes, return_index=True)
+    ends = np.append(starts[1:], len(sorted_codes))
+    for leaf_code, start, end in zip(unique_codes, starts, ends):
+        leaf_code = int(leaf_code)
+        indices = order[start:end]
+        node = _insert_leaf_scalar(root, leaf_code, depth)
+        node.point_indices = indices
+        leaf_lookup[leaf_code] = node
+        stats.max_leaf_occupancy = max(stats.max_leaf_occupancy, len(indices))
+
+    all_nodes = list(root.iter_nodes())
+    stats.num_nodes = len(all_nodes)
+    stats.num_leaves = len(leaf_lookup)
+    stats.host_memory_writes += stats.num_nodes
+
+    return Octree(
+        depth=depth,
+        box=box,
+        cloud=cloud,
+        leaf_codes=unique_codes.astype(np.int64),
+        point_codes=codes,
+        stats=stats,
+        _root=root,
+        _leaf_lookup=leaf_lookup,
+    )
+
+
+# ----------------------------------------------------------------------
+# FPS (pre-kernel sqrt-per-iteration variant)
+# ----------------------------------------------------------------------
+def fps_scalar(
+    cloud: PointCloud, num_samples: int, seed: int = 0
+) -> Tuple[np.ndarray, float]:
+    """Returns ``(selected_indices, nearest_distance_max)``.
+
+    Equivalence with the squared-distance sampler holds except on argmax
+    ties between two running minima less than one ulp apart (where sqrt
+    collapses distinct doubles); see the note in ``sampling/fps.py``.
+    """
+    rng = np.random.default_rng(seed)
+    points = cloud.points
+    num_points = cloud.num_points
+
+    selected = np.empty(num_samples, dtype=np.intp)
+    selected[0] = rng.integers(num_points)
+    nearest_dist = np.full(num_points, np.inf)
+
+    for k in range(1, num_samples):
+        last = points[selected[k - 1]]
+        dist = np.sqrt(((points - last) ** 2).sum(axis=1))
+        np.minimum(nearest_dist, dist, out=nearest_dist)
+        nearest_dist[selected[k - 1]] = -np.inf
+        selected[k] = int(np.argmax(nearest_dist))
+    last = points[selected[-1]]
+    np.minimum(
+        nearest_dist,
+        np.sqrt(((points - last) ** 2).sum(axis=1)),
+        out=nearest_dist,
+    )
+    return selected, float(nearest_dist.max())
+
+
+# ----------------------------------------------------------------------
+# OIS (pre-kernel dict-walk descent)
+# ----------------------------------------------------------------------
+def ois_scalar(
+    cloud: PointCloud,
+    num_samples: int,
+    octree_depth: Optional[int] = None,
+    approximate: bool = False,
+    seed: int = 0,
+    octree: Optional[Octree] = None,
+) -> Tuple[np.ndarray, OpCounters]:
+    """The pre-kernel OIS sampling loop; returns ``(indices, counters)``.
+
+    Matches ``OctreeIndexedSampler.sample`` without the
+    ``count_build_at_scale`` rescaling (benchmarks compare raw counts).
+    """
+    from repro.octree.memory_layout import HostMemoryLayout
+
+    rng = np.random.default_rng(seed)
+    counters = OpCounters()
+
+    depth = octree_depth or suggest_depth(cloud.num_points)
+    if octree is None:
+        octree = build_octree_scalar(cloud, depth=depth)
+        counters.host_memory_reads += octree.stats.host_memory_reads
+        counters.host_memory_writes += octree.stats.host_memory_writes
+    else:
+        depth = octree.depth
+    layout = HostMemoryLayout.from_octree(octree)
+    point_codes = octree.point_codes
+
+    remaining: Dict[int, List[int]] = {}
+    for leaf in octree.leaves_in_sfc_order():
+        slots = sorted(
+            layout.slot_of_original(int(i)) for i in leaf.point_indices
+        )
+        remaining[leaf.code] = [int(layout.slot_to_original[s]) for s in slots]
+    remaining_count: Dict[Tuple[int, int], int] = {}
+    picked_count: Dict[Tuple[int, int], int] = {}
+    for leaf_code, points in remaining.items():
+        for level in range(1, depth + 1):
+            key = (level, _prefix_at_level(leaf_code, depth, level))
+            remaining_count[key] = remaining_count.get(key, 0) + len(points)
+            picked_count.setdefault(key, 0)
+
+    def consume(original_index: int) -> None:
+        leaf_code = int(point_codes[original_index])
+        remaining[leaf_code].remove(original_index)
+        for level in range(1, depth + 1):
+            key = (level, _prefix_at_level(leaf_code, depth, level))
+            remaining_count[key] -= 1
+            picked_count[key] += 1
+
+    def descend(seed_code: int) -> int:
+        node = octree.root
+        for level in range(1, depth + 1):
+            seed_prefix = _prefix_at_level(seed_code, depth, level)
+            best_child = None
+            best_key = None
+            candidates = node.occupied_octants()
+            counters.node_visits += 1
+            for octant in candidates:
+                child = node.children[octant]
+                if remaining_count.get((level, child.code), 0) <= 0:
+                    continue
+                counters.hamming_ops += 1
+                counters.onchip_reads += 1
+                counters.compare_ops += 1
+                distance = scalar_hamming(child.code, seed_prefix)
+                already_picked = picked_count.get((level, child.code), 0)
+                key = (-already_picked, distance)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_child = child
+            if best_child is None:
+                raise RuntimeError(
+                    "octree exhausted before collecting the requested samples"
+                )
+            node = best_child
+
+        candidates = remaining[node.code]
+        if approximate:
+            choice = int(rng.integers(len(candidates)))
+            return candidates[choice]
+        if seed_code <= node.code:
+            return candidates[-1]
+        return candidates[0]
+
+    picked: List[int] = []
+    picked_codes_sum = np.zeros(3, dtype=np.float64)
+
+    seed_index = int(rng.integers(cloud.num_points))
+    picked.append(seed_index)
+    consume(seed_index)
+    picked_codes_sum += cloud.points[seed_index]
+    counters.host_memory_reads += 1
+    counters.onchip_writes += 1
+
+    while len(picked) < num_samples:
+        summary_point = picked_codes_sum / len(picked)
+        summary_code = int(
+            scalar_morton_encode_points(summary_point[None, :], octree.box, depth)[0]
+        )
+        next_index = descend(summary_code)
+        picked.append(next_index)
+        consume(next_index)
+        picked_codes_sum += cloud.points[next_index]
+        counters.host_memory_reads += 1
+        counters.onchip_writes += 1
+    return np.asarray(picked, dtype=np.intp), counters
+
+
+# ----------------------------------------------------------------------
+# Scalar voxel grid + VEG (pre-kernel per-centroid shell expansion)
+# ----------------------------------------------------------------------
+class ScalarGrid:
+    """Dict-bucketed uniform voxel grid with the scalar shell enumeration."""
+
+    def __init__(self, cloud: PointCloud, depth: int, box: Optional[AxisAlignedBox] = None):
+        if box is None:
+            box = cloud.bounds().as_cube()
+        self.cloud = cloud
+        self.depth = depth
+        self.box = box
+        self.codes = scalar_morton_encode_points(cloud.points, box, depth)
+        self.buckets = dict_bucketize(self.codes)
+
+    @property
+    def resolution(self) -> int:
+        return 1 << self.depth
+
+    def cell_size(self) -> np.ndarray:
+        return self.box.size / self.resolution
+
+    def points_in_voxel(self, code: int) -> np.ndarray:
+        return self.buckets.get(int(code), np.zeros(0, dtype=np.intp))
+
+    def shell_codes(self, center_code: int, radius: int) -> List[int]:
+        cx, cy, cz = scalar_morton_decode(center_code, self.depth)
+        if radius == 0:
+            return [center_code] if center_code in self.buckets else []
+        resolution = self.resolution
+        found: List[int] = []
+        for dx in range(-radius, radius + 1):
+            for dy in range(-radius, radius + 1):
+                for dz in range(-radius, radius + 1):
+                    if max(abs(dx), abs(dy), abs(dz)) != radius:
+                        continue
+                    ix, iy, iz = cx + dx, cy + dy, cz + dz
+                    if not (
+                        0 <= ix < resolution
+                        and 0 <= iy < resolution
+                        and 0 <= iz < resolution
+                    ):
+                        continue
+                    code = scalar_morton_encode(ix, iy, iz, self.depth)
+                    if code in self.buckets:
+                        found.append(code)
+        return found
+
+
+def veg_scalar(
+    cloud: PointCloud,
+    centroid_indices: np.ndarray,
+    neighbors: int,
+    depth: Optional[int] = None,
+    semi_approximate: bool = False,
+    ball_radius: Optional[float] = None,
+    seed: int = 0,
+) -> Tuple[np.ndarray, OpCounters, list]:
+    """The pre-kernel VEG gather; returns ``(rows, counters, stage_stats)``.
+
+    ``stage_stats`` is a list of per-centroid tuples ``(expansions,
+    inner_points, last_shell_points, sorted_candidates, voxels_visited)``.
+    """
+    centroid_indices = np.asarray(centroid_indices, dtype=np.intp)
+    rng = np.random.default_rng(seed)
+    depth = depth or suggest_depth(cloud.num_points)
+    grid = ScalarGrid(cloud, depth)
+
+    counters = OpCounters()
+    stage_stats: list = []
+    points = cloud.points
+    max_radius = grid.resolution
+
+    rows = np.empty((centroid_indices.shape[0], neighbors), dtype=np.intp)
+    for row, centroid_index in enumerate(centroid_indices):
+        expansions = inner_points = last_shell_points = 0
+        sorted_candidates = voxels_visited = 0
+        target = points[centroid_index]
+        counters.onchip_reads += 1
+        center_code = int(grid.codes[int(centroid_index)])
+        counters.node_visits += 1
+
+        if ball_radius is not None:
+            radius = float(ball_radius)
+            cell = float(grid.cell_size().min())
+            shell_limit = min(
+                grid.resolution, int(np.ceil(radius / max(cell, 1e-12))) + 1
+            )
+            candidates: List[np.ndarray] = []
+            for shell in range(shell_limit + 1):
+                shell_codes = grid.shell_codes(center_code, shell)
+                voxels_visited += max(1, len(shell_codes))
+                counters.node_visits += max(1, len(shell_codes))
+                if shell_codes:
+                    candidates.append(
+                        np.concatenate(
+                            [grid.points_in_voxel(c) for c in shell_codes]
+                        )
+                    )
+            expansions = shell_limit
+            pool = (
+                np.concatenate(candidates)
+                if candidates
+                else np.zeros(0, dtype=np.intp)
+            )
+            dist = ((points[pool] - target) ** 2).sum(axis=1)
+            counters.distance_computations += pool.shape[0]
+            counters.compare_ops += pool.shape[0]
+            counters.host_memory_reads += int(pool.shape[0])
+            last_shell_points = int(pool.shape[0])
+            sorted_candidates = int(pool.shape[0])
+
+            inside = pool[dist <= radius**2]
+            inside_dist = dist[dist <= radius**2]
+            order = np.argsort(inside_dist)
+            inside = inside[order]
+            if inside.shape[0] >= neighbors:
+                selection = inside[:neighbors]
+            else:
+                fill_value = inside[0] if inside.shape[0] else centroid_index
+                pad = np.full(
+                    neighbors - inside.shape[0], fill_value, dtype=np.intp
+                )
+                selection = np.concatenate([inside, pad])
+            counters.onchip_writes += neighbors
+            rows[row] = selection
+            stage_stats.append(
+                (expansions, inner_points, last_shell_points,
+                 sorted_candidates, voxels_visited)
+            )
+            continue
+
+        gathered_count = 0
+        shells: List[np.ndarray] = []
+        radius = 0
+        while gathered_count < neighbors and radius <= max_radius:
+            shell_codes = grid.shell_codes(center_code, radius)
+            voxels_visited += max(1, len(shell_codes))
+            counters.node_visits += max(1, len(shell_codes))
+            if shell_codes:
+                shell_points = np.concatenate(
+                    [grid.points_in_voxel(code) for code in shell_codes]
+                )
+            else:
+                shell_points = np.zeros(0, dtype=np.intp)
+            shells.append(shell_points)
+            gathered_count += shell_points.shape[0]
+            radius += 1
+        expansions = max(0, len(shells) - 1)
+
+        inner = (
+            np.concatenate(shells[:-1]) if len(shells) > 1
+            else np.zeros(0, dtype=np.intp)
+        )
+        last_shell = shells[-1] if shells else np.zeros(0, dtype=np.intp)
+        inner_points = int(inner.shape[0])
+        last_shell_points = int(last_shell.shape[0])
+        counters.host_memory_reads += int(inner.shape[0])
+
+        still_needed = neighbors - inner.shape[0]
+        if semi_approximate:
+            sorted_candidates = 0
+            if last_shell.shape[0] <= still_needed:
+                tail = last_shell
+            else:
+                tail = rng.choice(last_shell, size=still_needed, replace=False)
+            counters.host_memory_reads += int(tail.shape[0])
+        else:
+            dist = ((points[last_shell] - target) ** 2).sum(axis=1)
+            counters.distance_computations += last_shell.shape[0]
+            counters.compare_ops += last_shell.shape[0]
+            counters.host_memory_reads += int(last_shell.shape[0])
+            sorted_candidates = int(last_shell.shape[0])
+            order = np.argsort(dist)[:still_needed]
+            tail = last_shell[order]
+        selection = np.concatenate([inner, tail])
+        if selection.shape[0] < neighbors:
+            pad = np.full(
+                neighbors - selection.shape[0],
+                selection[0] if selection.shape[0] else centroid_index,
+                dtype=np.intp,
+            )
+            selection = np.concatenate([selection, pad])
+
+        counters.onchip_writes += neighbors
+        rows[row] = selection[:neighbors]
+        stage_stats.append(
+            (expansions, inner_points, last_shell_points,
+             sorted_candidates, voxels_visited)
+        )
+
+    return rows, counters, stage_stats
+
+
+# ----------------------------------------------------------------------
+# Brute-force ball query (pre-kernel per-row inner loop)
+# ----------------------------------------------------------------------
+def ballquery_scalar(
+    cloud: PointCloud,
+    centroid_indices: np.ndarray,
+    neighbors: int,
+    radius: float,
+) -> Tuple[np.ndarray, int, int]:
+    """Returns ``(rows, groups_truncated, groups_padded)``."""
+    centroid_indices = np.asarray(centroid_indices, dtype=np.intp)
+    points = cloud.points
+    radius_sq = radius**2
+
+    rows = np.empty((centroid_indices.shape[0], neighbors), dtype=np.intp)
+    truncated = 0
+    padded = 0
+    chunk = 256
+    for start in range(0, centroid_indices.shape[0], chunk):
+        block_idx = centroid_indices[start : start + chunk]
+        block = points[block_idx]
+        diff = block[:, None, :] - points[None, :, :]
+        dist = (diff**2).sum(axis=-1)
+        order = np.argsort(dist, axis=1)
+        sorted_dist = np.take_along_axis(dist, order, axis=1)
+        for r in range(block.shape[0]):
+            inside = order[r][sorted_dist[r] <= radius_sq]
+            if inside.shape[0] >= neighbors:
+                if inside.shape[0] > neighbors:
+                    truncated += 1
+                rows[start + r] = inside[:neighbors]
+            else:
+                padded += 1
+                fill = np.full(neighbors, order[r][0], dtype=np.intp)
+                fill[: inside.shape[0]] = inside
+                rows[start + r] = fill
+    return rows, truncated, padded

@@ -21,12 +21,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.geometry.bbox import AxisAlignedBox
-from repro.geometry.morton import (
-    morton_encode_points,
-    prefix_at_level,
-    voxel_center,
-)
+from repro.geometry.morton import morton_encode_points, voxel_center
 from repro.geometry.pointcloud import PointCloud
+from repro.kernels import bucketize_codes
 from repro.octree.node import OctreeNode
 
 
@@ -55,14 +52,23 @@ class OctreeBuildStats:
 class Octree:
     """A built octree over a point cloud frame."""
 
-    root: OctreeNode
     depth: int
     box: AxisAlignedBox
     cloud: PointCloud
     leaf_codes: np.ndarray = field(repr=False)
     point_codes: np.ndarray = field(repr=False)
     stats: OctreeBuildStats = field(default_factory=OctreeBuildStats)
-    _leaf_lookup: Dict[int, OctreeNode] = field(default_factory=dict, repr=False)
+    #: Pointer tree, materialised lazily on first access: the flat arrays
+    #: above fully describe the octree, and the vectorized consumers (OIS,
+    #: the host-memory layout) never touch individual nodes, so ``build``
+    #: does not pay for creating them.
+    _root: Optional[OctreeNode] = field(default=None, repr=False)
+    _leaf_lookup: Optional[Dict[int, OctreeNode]] = field(default=None, repr=False)
+    #: Cached SFC point permutation (computed lazily when not supplied).
+    _sfc_order: Optional[np.ndarray] = field(default=None, repr=False)
+    #: Leaf bucket geometry over ``_sfc_order`` (for lazy materialisation).
+    _bucket_starts: Optional[np.ndarray] = field(default=None, repr=False)
+    _bucket_counts: Optional[np.ndarray] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Construction
@@ -87,73 +93,122 @@ class Octree:
             box = cloud.bounds().as_cube(padding=padding)
 
         codes = morton_encode_points(cloud.points, box, depth)
-        order = np.argsort(codes, kind="stable")
-        sorted_codes = codes[order]
+        order, unique_codes, starts, counts = bucketize_codes(codes)
 
         stats = OctreeBuildStats(num_points=cloud.num_points, depth=depth)
         # One streaming read of every raw point (coordinates) ...
         stats.host_memory_reads += cloud.num_points
         # ... and one write per point for the SFC-reorganised copy.
         stats.host_memory_writes += cloud.num_points
+        stats.max_leaf_occupancy = int(counts.max()) if counts.size else 0
 
-        root = OctreeNode(code=0, level=0, box=box)
-        leaf_lookup: Dict[int, OctreeNode] = {}
+        # Count interior nodes level by level without creating any node
+        # object: the sorted unique prefixes at level L are one shift away
+        # from level L+1.
+        num_nodes = 1 + int(unique_codes.shape[0])  # root + leaves
+        prefixes = unique_codes
+        for _ in range(depth - 1, 0, -1):
+            prefixes = np.unique(prefixes >> 3)
+            num_nodes += int(prefixes.shape[0])
 
-        unique_codes, starts = np.unique(sorted_codes, return_index=True)
-        ends = np.append(starts[1:], len(sorted_codes))
-        for leaf_code, start, end in zip(unique_codes, starts, ends):
-            leaf_code = int(leaf_code)
-            indices = order[start:end]
-            node = cls._insert_leaf(root, leaf_code, depth, box)
-            node.point_indices = indices
-            leaf_lookup[leaf_code] = node
-            stats.max_leaf_occupancy = max(stats.max_leaf_occupancy, len(indices))
-
-        all_nodes = list(root.iter_nodes())
-        stats.num_nodes = len(all_nodes)
-        stats.num_leaves = len(leaf_lookup)
+        stats.num_nodes = num_nodes
+        stats.num_leaves = int(unique_codes.shape[0])
         # Node bookkeeping: one write per created node (child pointer / table
         # entry).  This is small relative to the per-point traffic but is
         # included for completeness.
         stats.host_memory_writes += stats.num_nodes
 
         return cls(
-            root=root,
             depth=depth,
             box=box,
             cloud=cloud,
-            leaf_codes=unique_codes.astype(np.int64),
+            leaf_codes=unique_codes,
             point_codes=codes,
             stats=stats,
-            _leaf_lookup=leaf_lookup,
+            _sfc_order=order,
+            _bucket_starts=starts,
+            _bucket_counts=counts,
         )
 
-    @staticmethod
-    def _insert_leaf(
-        root: OctreeNode, leaf_code: int, depth: int, box: AxisAlignedBox
-    ) -> OctreeNode:
-        """Walk/extend the path from the root to the leaf voxel ``leaf_code``."""
-        node = root
+    # ------------------------------------------------------------------
+    # Lazy pointer-tree materialisation
+    # ------------------------------------------------------------------
+    def _materialise_tree(self) -> None:
+        """Create the pointer tree from the flat code arrays.
+
+        Nodes are created level by level in ascending-code order, each
+        linked to its parent with one dict lookup; per-level voxel boxes are
+        computed in one vectorised pass instead of recursive
+        ``box.octant`` subdivision.
+        """
+        from repro.kernels import decode_cells
+
+        depth = self.depth
+        root = OctreeNode(code=0, level=0, box=self.box)
+
+        level_codes: List[Optional[np.ndarray]] = [None] * (depth + 1)
+        level_codes[depth] = self.leaf_codes
+        for level in range(depth - 1, 0, -1):
+            level_codes[level] = np.unique(level_codes[level + 1] >> 3)
+
+        box_minimum = self.box.minimum
+        box_size = self.box.size
+        previous: Dict[int, OctreeNode] = {0: root}
         for level in range(1, depth + 1):
-            prefix = prefix_at_level(leaf_code, depth, level)
-            octant = prefix & 0b111
-            child = node.child(octant)
-            if child is None:
-                child = OctreeNode(
-                    code=prefix,
+            codes = level_codes[level]
+            cell = box_size / (1 << level)
+            minima = box_minimum + decode_cells(codes, level) * cell
+            maxima = minima + cell
+            current: Dict[int, OctreeNode] = {}
+            for position, code in enumerate(codes.tolist()):
+                node = OctreeNode(
+                    code=code,
                     level=level,
-                    box=node.box.octant(octant),
+                    box=AxisAlignedBox.unchecked(
+                        minima[position], maxima[position]
+                    ),
                 )
-                node.children[octant] = child
-            node = child
-        return node
+                previous[code >> 3].children[code & 0b111] = node
+                current[code] = node
+            previous = current
+
+        order = self._sfc_order_cached()
+        if self._bucket_starts is None or self._bucket_counts is None:
+            sorted_codes = self.point_codes[order]
+            self._bucket_starts = np.searchsorted(
+                sorted_codes, self.leaf_codes, side="left"
+            ).astype(np.intp)
+            self._bucket_counts = (
+                np.searchsorted(sorted_codes, self.leaf_codes, side="right")
+                - self._bucket_starts
+            ).astype(np.intp)
+        for position, code in enumerate(self.leaf_codes.tolist()):
+            start = self._bucket_starts[position]
+            previous[code].point_indices = order[
+                start : start + self._bucket_counts[position]
+            ]
+
+        self._root = root
+        self._leaf_lookup = previous
+
+    @property
+    def root(self) -> OctreeNode:
+        if self._root is None:
+            self._materialise_tree()
+        return self._root
+
+    @property
+    def leaf_lookup(self) -> Dict[int, OctreeNode]:
+        if self._leaf_lookup is None:
+            self._materialise_tree()
+        return self._leaf_lookup
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property
     def num_leaves(self) -> int:
-        return len(self._leaf_lookup)
+        return int(self.leaf_codes.shape[0])
 
     @property
     def num_nodes(self) -> int:
@@ -161,32 +216,54 @@ class Octree:
 
     def leaf(self, code: int) -> Optional[OctreeNode]:
         """Leaf node with m-code ``code`` or ``None`` when that voxel is empty."""
-        return self._leaf_lookup.get(int(code))
+        return self.leaf_lookup.get(int(code))
 
     def leaf_of_point(self, point_index: int) -> OctreeNode:
         """The leaf voxel containing point ``point_index``."""
-        return self._leaf_lookup[int(self.point_codes[point_index])]
+        return self.leaf_lookup[int(self.point_codes[point_index])]
 
     def leaves_in_sfc_order(self) -> List[OctreeNode]:
         """All leaves ordered by m-code (the 1-D array order of Figure 5b)."""
-        return [self._leaf_lookup[int(code)] for code in self.leaf_codes]
+        lookup = self.leaf_lookup
+        return [lookup[int(code)] for code in self.leaf_codes]
+
+    def _sfc_order_cached(self) -> np.ndarray:
+        if self._sfc_order is None:
+            self._sfc_order = np.argsort(self.point_codes, kind="stable")
+        return self._sfc_order
 
     def points_in_sfc_order(self) -> np.ndarray:
-        """Point indices concatenated in leaf-SFC order."""
+        """Point indices concatenated in leaf-SFC order (read-only view).
+
+        Equal to the per-leaf concatenation (each leaf stores a stable
+        ascending-code sort slice), computed as one stable argsort instead
+        of an O(leaves) concatenate.  The view is read-only because the
+        underlying permutation is shared with the lazy tree and the
+        host-memory layout.
+        """
         if not self.num_leaves:
             return np.zeros(0, dtype=np.intp)
-        return np.concatenate(
-            [leaf.point_indices for leaf in self.leaves_in_sfc_order()]
-        )
+        view = self._sfc_order_cached().view()
+        view.flags.writeable = False
+        return view
 
     def leaf_center(self, code: int) -> np.ndarray:
         """Geometric centre of the leaf voxel ``code``."""
         return voxel_center(int(code), self.depth, self.box)
 
+    def _leaf_occupancies(self) -> np.ndarray:
+        """Points per leaf, aligned with ``leaf_codes``."""
+        if self._bucket_counts is not None:
+            return self._bucket_counts
+        return np.array(
+            [leaf.num_points for leaf in self.leaves_in_sfc_order()],
+            dtype=np.intp,
+        )
+
     def occupancy_histogram(self) -> Dict[int, int]:
         return {
-            int(code): self._leaf_lookup[int(code)].num_points
-            for code in self.leaf_codes
+            int(code): int(count)
+            for code, count in zip(self.leaf_codes, self._leaf_occupancies())
         }
 
     def non_uniformity(self) -> float:
@@ -196,9 +273,7 @@ class Octree:
         spatial distribution yields a deeper / more unbalanced octree; this
         scalar quantifies that property for the datasets we synthesise.
         """
-        counts = np.array(
-            [leaf.num_points for leaf in self._leaf_lookup.values()], dtype=float
-        )
+        counts = self._leaf_occupancies().astype(float)
         if counts.size == 0:
             return 0.0
         mean = counts.mean()

@@ -21,17 +21,13 @@ frames without materialising them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.metrics import OpCounters
-from repro.geometry.morton import (
-    hamming_distance,
-    morton_encode_points,
-    prefix_at_level,
-)
 from repro.geometry.pointcloud import PointCloud
+from repro.kernels import encode_point_scalar, hamming_codes
 from repro.geometry.voxelgrid import suggest_depth
 from repro.octree.builder import Octree
 from repro.octree.memory_layout import HostMemoryLayout
@@ -169,40 +165,140 @@ class OctreeIndexedSampler(Sampler):
         rng: np.random.Generator,
         counters: OpCounters,
     ) -> List[int]:
+        """Vectorized Octree-Table walk over flat per-level node arrays.
+
+        The scalar predecessor (retained as
+        :func:`repro.kernels.reference.ois_scalar`) kept remaining/picked
+        counts in ``(level, prefix)`` dicts and iterated the children of
+        every visited node in Python; here each level of the table is a
+        sorted code array whose children occupy a contiguous slice of the
+        next level, candidate ranking is one array-wide XOR+popcount per
+        level, and the setup is pure array indexing.  Selected indices and
+        all counters are bit-identical to the scalar path.
+        """
         depth = octree.depth
         cloud = octree.cloud
         point_codes = octree.point_codes
+        leaf_codes = octree.leaf_codes
 
         # Remaining (unpicked) points per leaf, kept in SFC slot order so the
         # "farthest point by SFC traversal" rule is an end-of-list access.
-        remaining: Dict[int, List[int]] = {}
-        for leaf in octree.leaves_in_sfc_order():
-            slots = sorted(
-                layout.slot_of_original(int(i)) for i in leaf.point_indices
+        # slot_to_original is already leaf-major in ascending-code order, so
+        # each leaf's remaining list is one contiguous slice of it.
+        slot_to_original = layout.slot_to_original
+        sorted_codes = point_codes[slot_to_original]
+        leaf_starts = np.searchsorted(sorted_codes, leaf_codes, side="left")
+        leaf_ends = np.searchsorted(sorted_codes, leaf_codes, side="right")
+        remaining: List[List[int]] = [
+            slot_to_original[start:end].tolist()
+            for start, end in zip(leaf_starts, leaf_ends)
+        ]
+        leaf_counts = leaf_ends - leaf_starts
+
+        # Flat Octree-Table: per level, the sorted unique prefixes plus
+        # remaining counts (so exhausted subtrees are skipped during the
+        # descent) and picked counts (so the walk prefers subtrees that have
+        # not yet contributed a sample.  Genuine FPS naturally avoids regions
+        # that already contain picked points because their distance-to-S
+        # collapses; the Octree walk reproduces that with one "picked"
+        # counter per node, which in hardware is a small per-entry tag in
+        # the Octree-Table.)
+        level_codes: List[Optional[np.ndarray]] = [None] * (depth + 1)
+        leaf_to_node: List[Optional[np.ndarray]] = [None] * (depth + 1)
+        level_codes[depth] = leaf_codes
+        leaf_to_node[depth] = np.arange(leaf_codes.shape[0], dtype=np.intp)
+        for level in range(depth - 1, 0, -1):
+            codes, parent_of = np.unique(
+                level_codes[level + 1] >> 3, return_inverse=True
             )
-            remaining[leaf.code] = [int(layout.slot_to_original[s]) for s in slots]
-        # Remaining counts per (level, prefix) so exhausted subtrees are
-        # skipped during the descent, and picked counts per prefix so the
-        # walk prefers subtrees that have not yet contributed a sample.
-        # (Genuine FPS naturally avoids regions that already contain picked
-        # points because their distance-to-S collapses; the Octree walk
-        # reproduces that with one "picked" counter per node, which in
-        # hardware is a small per-entry tag in the Octree-Table.)
-        remaining_count: Dict[Tuple[int, int], int] = {}
-        picked_count: Dict[Tuple[int, int], int] = {}
-        for leaf_code, points in remaining.items():
-            for level in range(1, depth + 1):
-                key = (level, prefix_at_level(leaf_code, depth, level))
-                remaining_count[key] = remaining_count.get(key, 0) + len(points)
-                picked_count.setdefault(key, 0)
+            level_codes[level] = codes
+            leaf_to_node[level] = parent_of[leaf_to_node[level + 1]]
+
+        remaining_count: List[Optional[np.ndarray]] = [None] * (depth + 1)
+        picked_count: List[Optional[np.ndarray]] = [None] * (depth + 1)
+        for level in range(1, depth + 1):
+            remaining_count[level] = np.bincount(
+                leaf_to_node[level],
+                weights=leaf_counts,
+                minlength=level_codes[level].shape[0],
+            ).astype(np.int64)
+            picked_count[level] = np.zeros(
+                level_codes[level].shape[0], dtype=np.int64
+            )
+
+        # Children of node i at level L are the contiguous slice
+        # [child_start[L][i], child_end[L][i]) of level L+1 (both code
+        # arrays are sorted, and a child's parent prefix is its code >> 3).
+        child_start: List[Optional[np.ndarray]] = [None] * (depth + 1)
+        child_end: List[Optional[np.ndarray]] = [None] * (depth + 1)
+        for level in range(1, depth):
+            parents = level_codes[level + 1] >> 3
+            child_start[level] = np.searchsorted(
+                parents, level_codes[level], side="left"
+            )
+            child_end[level] = np.searchsorted(
+                parents, level_codes[level], side="right"
+            )
+
+        leaf_of_point = np.searchsorted(leaf_codes, point_codes)
 
         def consume(original_index: int) -> None:
-            leaf_code = int(point_codes[original_index])
-            remaining[leaf_code].remove(original_index)
+            leaf_index = int(leaf_of_point[original_index])
+            remaining[leaf_index].remove(original_index)
             for level in range(1, depth + 1):
-                key = (level, prefix_at_level(leaf_code, depth, level))
-                remaining_count[key] -= 1
-                picked_count[key] += 1
+                node = leaf_to_node[level][leaf_index]
+                remaining_count[level][node] -= 1
+                picked_count[level][node] += 1
+
+        box = octree.box
+        box_minimum = box.minimum
+        extent = np.where(box.size > 0, box.size, 1.0)
+        key_floor = np.int64(np.iinfo(np.int64).min)
+
+        def descend(seed_code: int) -> int:
+            """Walk the table picking the farthest non-exhausted voxel per
+            level: among the least-picked children the largest Hamming
+            distance from the seed voxel wins (ranked array-wide per level,
+            exactly the comparison the Sampling Modules perform in
+            parallel), earliest SFC position breaking ties."""
+            lo, hi = 0, level_codes[1].shape[0]
+            node_index = 0
+            for level in range(1, depth + 1):
+                counters.node_visits += 1
+                rem = remaining_count[level][lo:hi]
+                eligible = rem > 0
+                num_eligible = int(eligible.sum())
+                if num_eligible == 0:
+                    raise RuntimeError(
+                        "octree exhausted before collecting the requested"
+                        " samples"
+                    )
+                counters.hamming_ops += num_eligible
+                counters.onchip_reads += num_eligible
+                counters.compare_ops += num_eligible
+                seed_prefix = seed_code >> (3 * (depth - level))
+                # Lexicographic (-picked, hamming) packed into one int key
+                # (hamming < 64 = one 6-bit digit); argmax takes the first
+                # maximum, matching the scalar SFC-order tie-break.
+                key = hamming_codes(level_codes[level][lo:hi], seed_prefix) - (
+                    picked_count[level][lo:hi] << 6
+                )
+                key = np.where(eligible, key, key_floor)
+                node_index = lo + int(np.argmax(key))
+                if level < depth:
+                    lo = int(child_start[level][node_index])
+                    hi = int(child_end[level][node_index])
+
+            candidates = remaining[node_index]
+            if self._approximate:
+                choice = int(rng.integers(len(candidates)))
+                return candidates[choice]
+            # Exact rule: the SFC-extreme point of the leaf, i.e. the end of
+            # the intra-leaf SFC order farthest from the seed side of the
+            # curve.
+            if seed_code <= int(leaf_codes[node_index]):
+                return candidates[-1]
+            return candidates[0]
 
         picked: List[int] = []
         picked_codes_sum = np.zeros(3, dtype=np.float64)
@@ -218,75 +314,13 @@ class OctreeIndexedSampler(Sampler):
         while len(picked) < num_samples:
             # Virtual summary point ||S||_2 of the picked set (Section V-B).
             summary_point = picked_codes_sum / len(picked)
-            summary_code = int(
-                morton_encode_points(summary_point[None, :], octree.box, depth)[0]
+            summary_code = encode_point_scalar(
+                summary_point, box_minimum, extent, depth
             )
-            next_index = self._descend(
-                octree,
-                summary_code,
-                remaining,
-                remaining_count,
-                picked_count,
-                rng,
-                counters,
-            )
+            next_index = descend(summary_code)
             picked.append(next_index)
             consume(next_index)
             picked_codes_sum += cloud.points[next_index]
             counters.host_memory_reads += 1
             counters.onchip_writes += 1
         return picked
-
-    def _descend(
-        self,
-        octree: Octree,
-        seed_code: int,
-        remaining: Dict[int, List[int]],
-        remaining_count: Dict[Tuple[int, int], int],
-        picked_count: Dict[Tuple[int, int], int],
-        rng: np.random.Generator,
-        counters: OpCounters,
-    ) -> int:
-        """Walk the octree picking the farthest non-exhausted voxel per level.
-
-        Children that have contributed fewer samples so far take priority
-        (see the comment in :meth:`_run_sampling_loop`); among equally-picked
-        children the one with the largest Hamming distance from the seed
-        voxel wins, exactly the comparison the Sampling Modules perform.
-        """
-        depth = octree.depth
-        node = octree.root
-        for level in range(1, depth + 1):
-            seed_prefix = prefix_at_level(seed_code, depth, level)
-            best_child = None
-            best_key = None
-            candidates = node.occupied_octants()
-            counters.node_visits += 1
-            for octant in candidates:
-                child = node.children[octant]
-                if remaining_count.get((level, child.code), 0) <= 0:
-                    continue
-                counters.hamming_ops += 1
-                counters.onchip_reads += 1
-                counters.compare_ops += 1
-                distance = hamming_distance(child.code, seed_prefix)
-                already_picked = picked_count.get((level, child.code), 0)
-                key = (-already_picked, distance)
-                if best_key is None or key > best_key:
-                    best_key = key
-                    best_child = child
-            if best_child is None:
-                raise RuntimeError(
-                    "octree exhausted before collecting the requested samples"
-                )
-            node = best_child
-
-        candidates = remaining[node.code]
-        if self._approximate:
-            choice = int(rng.integers(len(candidates)))
-            return candidates[choice]
-        # Exact rule: the SFC-extreme point of the leaf, i.e. the end of the
-        # intra-leaf SFC order farthest from the seed side of the curve.
-        if seed_code <= node.code:
-            return candidates[-1]
-        return candidates[0]

@@ -1,0 +1,435 @@
+"""Property tests for the vectorized kernel layer (repro.kernels).
+
+Every vectorized kernel carries an exact-equivalence contract against the
+frozen scalar implementations in :mod:`repro.kernels.reference`: identical
+codes, indices, neighbor rows, and operation counters, bit for bit.  These
+tests enforce the contract on randomised inputs; ``benchmarks/run_all.py``
+enforces it again at benchmark scale and records the speedups.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datastructuring.ballquery import BallQueryGatherer
+from repro.datastructuring.base import pick_random_centroids
+from repro.datastructuring.knn import BruteForceKNN
+from repro.datastructuring.veg import VoxelExpandedGatherer
+from repro.datasets.synthetic import gaussian_clusters, sample_cad_shape
+from repro.geometry.morton import morton_encode_points
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.voxelgrid import VoxelGrid, shell_offsets
+from repro.kernels import (
+    DEFAULT_CHUNK_BUDGET_BYTES,
+    bucketize_codes,
+    decode_cells,
+    distance_chunk_rows,
+    encode_cells,
+    encode_point_scalar,
+    gather_ragged,
+    grouped_topk,
+    hamming_codes,
+    lookup_sorted,
+    pairwise_sq_dists,
+    popcount64,
+    rows_per_chunk,
+    segment_boundaries,
+)
+from repro.kernels import reference as ref
+from repro.octree.builder import Octree
+from repro.sampling.fps import FarthestPointSampler
+from repro.sampling.ois import OctreeIndexedSampler
+
+
+def counters_of(result) -> dict:
+    return dataclasses.asdict(result)
+
+
+# ----------------------------------------------------------------------
+# Morton / Hamming kernels
+# ----------------------------------------------------------------------
+class TestMortonKernels:
+    @pytest.mark.parametrize("depth", [1, 2, 5, 9, 13, 17, 21])
+    def test_encode_decode_roundtrip_random_depths(self, depth):
+        rng = np.random.default_rng(depth)
+        cells = rng.integers(0, 1 << depth, size=(500, 3))
+        codes = encode_cells(cells, depth)
+        assert np.array_equal(decode_cells(codes, depth), cells)
+
+    @pytest.mark.parametrize("depth", [1, 3, 8, 21])
+    def test_encode_matches_scalar_reference(self, depth):
+        rng = np.random.default_rng(depth + 100)
+        cells = rng.integers(0, 1 << depth, size=(200, 3))
+        codes = encode_cells(cells, depth)
+        expected = [
+            ref.scalar_morton_encode(int(x), int(y), int(z), depth)
+            for x, y, z in cells
+        ]
+        assert codes.tolist() == expected
+        decoded = [ref.scalar_morton_decode(int(c), depth) for c in codes]
+        assert decode_cells(codes, depth).tolist() == [list(d) for d in decoded]
+
+    def test_encode_points_matches_loop_reference(self, medium_cloud):
+        box = medium_cloud.bounds().as_cube(padding=1e-9)
+        for depth in (1, 4, 9):
+            assert np.array_equal(
+                morton_encode_points(medium_cloud.points, box, depth),
+                ref.scalar_morton_encode_points(medium_cloud.points, box, depth),
+            )
+
+    def test_encode_point_scalar_matches_array_path(self, medium_cloud):
+        box = medium_cloud.bounds().as_cube(padding=1e-9)
+        extent = np.where(box.size > 0, box.size, 1.0)
+        depth = 7
+        codes = morton_encode_points(medium_cloud.points, box, depth)
+        for index in range(0, medium_cloud.num_points, 37):
+            assert (
+                encode_point_scalar(
+                    medium_cloud.points[index], box.minimum, extent, depth
+                )
+                == codes[index]
+            )
+
+    def test_encode_rejects_out_of_range_cells(self):
+        with pytest.raises(ValueError):
+            encode_cells(np.array([[0, 0, 8]]), depth=3)
+        with pytest.raises(ValueError):
+            encode_cells(np.array([[0, -1, 0]]), depth=3)
+
+    def test_popcount_matches_python_bitcount(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1 << 62, size=2000).astype(np.int64)
+        expected = [bin(int(v)).count("1") for v in values]
+        assert popcount64(values).tolist() == expected
+
+    def test_hamming_matches_scalar_loop_reference(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 1 << 62, size=1000).astype(np.int64)
+        b = int(rng.integers(0, 1 << 62))
+        assert np.array_equal(hamming_codes(a, b), ref.scalar_hamming_array(a, b))
+        assert hamming_codes(a[:1], b)[0] == ref.scalar_hamming(int(a[0]), b)
+
+
+# ----------------------------------------------------------------------
+# Bucketing kernels
+# ----------------------------------------------------------------------
+class TestBucketing:
+    def test_bucketize_matches_dict_reference(self):
+        rng = np.random.default_rng(2)
+        codes = rng.integers(0, 97, size=4000).astype(np.int64)
+        order, unique_codes, starts, counts = bucketize_codes(codes)
+        buckets = ref.dict_bucketize(codes)
+        assert unique_codes.tolist() == list(buckets.keys())
+        for position, code in enumerate(unique_codes):
+            start = starts[position]
+            assert np.array_equal(
+                order[start : start + counts[position]], buckets[int(code)]
+            )
+
+    def test_bucketize_stable_within_bucket(self):
+        codes = np.array([5, 1, 5, 1, 5], dtype=np.int64)
+        order, unique_codes, starts, counts = bucketize_codes(codes)
+        assert unique_codes.tolist() == [1, 5]
+        assert order[:2].tolist() == [1, 3]  # ascending original index
+        assert order[2:].tolist() == [0, 2, 4]
+
+    def test_gather_ragged_matches_concatenate(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1000, size=500)
+        starts = np.array([0, 50, 10, 480], dtype=np.intp)
+        counts = np.array([5, 0, 30, 20], dtype=np.intp)
+        flat, segments = gather_ragged(values, starts, counts)
+        expected = np.concatenate(
+            [values[s : s + c] for s, c in zip(starts, counts)]
+        )
+        assert np.array_equal(flat, expected)
+        assert np.array_equal(segments, np.repeat(np.arange(4), counts))
+
+    def test_gather_ragged_empty(self):
+        flat, segments = gather_ragged(
+            np.arange(10), np.zeros(0, dtype=np.intp), np.zeros(0, dtype=np.intp)
+        )
+        assert flat.size == 0 and segments.size == 0
+
+    def test_lookup_sorted(self):
+        sorted_codes = np.array([2, 5, 9], dtype=np.int64)
+        positions, found = lookup_sorted(
+            sorted_codes, np.array([5, 3, 9, 11], dtype=np.int64)
+        )
+        assert found.tolist() == [True, False, True, False]
+        assert positions[0] == 1 and positions[2] == 2
+        assert positions.max() < sorted_codes.shape[0]
+
+    def test_segment_boundaries(self):
+        segments = np.array([0, 0, 2, 2, 2, 5], dtype=np.intp)
+        bounds = segment_boundaries(segments, 6)
+        assert bounds.tolist() == [0, 2, 2, 5, 5, 5, 6]
+
+
+# ----------------------------------------------------------------------
+# Chunking / distance kernels
+# ----------------------------------------------------------------------
+class TestChunkingAndDistance:
+    def test_rows_per_chunk_respects_budget_and_minimum(self):
+        assert rows_per_chunk(1024, budget_bytes=4096) == 4
+        assert rows_per_chunk(10**12) == 1  # never below the minimum
+        assert rows_per_chunk(1, maximum=64) == 64
+
+    def test_rows_per_chunk_validation(self):
+        with pytest.raises(ValueError):
+            rows_per_chunk(0)
+        with pytest.raises(ValueError):
+            rows_per_chunk(8, minimum=0)
+
+    def test_distance_chunk_rows_derived_from_budget(self):
+        rows = distance_chunk_rows(100_000)
+        assert rows * 100_000 * 8 * 4 <= DEFAULT_CHUNK_BUDGET_BYTES
+        assert distance_chunk_rows(10) > rows
+        with pytest.raises(ValueError):
+            distance_chunk_rows(0)
+
+    def test_pairwise_sq_dists_matches_naive(self, small_cloud):
+        queries = small_cloud.points[:7]
+        dist = pairwise_sq_dists(queries, small_cloud.points)
+        for i in range(7):
+            expected = ((small_cloud.points - queries[i]) ** 2).sum(axis=1)
+            assert np.array_equal(dist[i], expected)
+
+    def test_grouped_topk_matches_full_sort(self):
+        rng = np.random.default_rng(4)
+        dist = rng.uniform(size=(32, 200))
+        top = grouped_topk(dist, 10)
+        full = np.argsort(dist, axis=1)[:, :10]
+        assert np.array_equal(top, full)
+
+
+# ----------------------------------------------------------------------
+# Voxel grid shells
+# ----------------------------------------------------------------------
+class TestShells:
+    @pytest.mark.parametrize("radius", [0, 1, 2, 3])
+    def test_shell_offsets_match_scalar_enumeration(self, radius):
+        expected = []
+        if radius == 0:
+            expected.append((0, 0, 0))
+        else:
+            for dx in range(-radius, radius + 1):
+                for dy in range(-radius, radius + 1):
+                    for dz in range(-radius, radius + 1):
+                        if max(abs(dx), abs(dy), abs(dz)) == radius:
+                            expected.append((dx, dy, dz))
+        assert shell_offsets(radius).tolist() == [list(t) for t in expected]
+
+    def test_shell_offsets_large_radius_stays_on_shell(self):
+        """Only the shell is materialised (O(r^2)), never the full cube."""
+        offsets = shell_offsets(25)
+        assert offsets.shape[0] == (2 * 25 + 1) ** 3 - (2 * 25 - 1) ** 3
+        assert (np.abs(offsets).max(axis=1) == 25).all()
+        # Lexicographic (dx, dy, dz) enumeration order is preserved.
+        keys = (offsets[:, 0] * 10_000 + offsets[:, 1] * 100 + offsets[:, 2])
+        assert (np.diff(keys) > 0).all()
+
+    def test_occupied_codes_view_is_read_only(self, small_cloud):
+        grid = VoxelGrid.build(small_cloud, 3)
+        with pytest.raises(ValueError):
+            grid.occupied_codes()[0] = -1
+
+    def test_shell_codes_match_scalar_grid(self, medium_cloud):
+        depth = 4
+        grid = VoxelGrid.build(medium_cloud, depth)
+        scalar = ref.ScalarGrid(medium_cloud, depth)
+        for code in grid.occupied_codes()[::5]:
+            for radius in (0, 1, 2):
+                assert grid.shell_codes(int(code), radius) == (
+                    scalar.shell_codes(int(code), radius)
+                )
+
+
+# ----------------------------------------------------------------------
+# Octree construction
+# ----------------------------------------------------------------------
+class TestOctreeEquivalence:
+    @pytest.mark.parametrize("depth", [1, 3, 6])
+    def test_build_matches_scalar_reference(self, medium_cloud, depth):
+        vectorized = Octree.build(medium_cloud, depth=depth)
+        scalar = ref.build_octree_scalar(medium_cloud, depth=depth)
+        assert np.array_equal(vectorized.leaf_codes, scalar.leaf_codes)
+        assert np.array_equal(vectorized.point_codes, scalar.point_codes)
+        assert np.array_equal(
+            vectorized.points_in_sfc_order(), scalar.points_in_sfc_order()
+        )
+        assert vectorized.stats == scalar.stats
+        for node_v, node_s in zip(
+            vectorized.root.iter_nodes(), scalar.root.iter_nodes()
+        ):
+            assert node_v.code == node_s.code
+            assert node_v.level == node_s.level
+            assert np.array_equal(node_v.point_indices, node_s.point_indices)
+            assert np.allclose(node_v.box.minimum, node_s.box.minimum)
+            assert np.allclose(node_v.box.maximum, node_s.box.maximum)
+
+    def test_points_in_sfc_order_view_is_read_only(self, medium_cloud):
+        octree = Octree.build(medium_cloud, depth=4)
+        order = octree.points_in_sfc_order()
+        with pytest.raises(ValueError):
+            order[0] = -1
+
+    def test_lazy_tree_not_materialised_by_flat_queries(self, medium_cloud):
+        octree = Octree.build(medium_cloud, depth=4)
+        assert octree.num_leaves == octree.leaf_codes.shape[0]
+        assert sum(octree.occupancy_histogram().values()) == medium_cloud.num_points
+        assert octree._root is None  # flat queries stay array-only
+        assert octree.root.level == 0  # materialises on demand
+        assert octree._root is not None
+
+
+# ----------------------------------------------------------------------
+# Sampling equivalence
+# ----------------------------------------------------------------------
+class TestSamplingEquivalence:
+    def test_fps_squared_matches_sqrt_reference(self, medium_cloud, cad_cloud):
+        for cloud, seed in ((medium_cloud, 0), (cad_cloud, 3)):
+            result = FarthestPointSampler(seed=seed).sample(cloud, 96)
+            indices, nearest_max = ref.fps_scalar(cloud, 96, seed=seed)
+            assert np.array_equal(result.indices, indices)
+            assert result.info["nearest_distance_max"] == nearest_max
+
+    @pytest.mark.parametrize("seed", [0, 2, 11])
+    @pytest.mark.parametrize("approximate", [False, True])
+    def test_ois_identical_for_fixed_seeds(self, medium_cloud, seed, approximate):
+        result = OctreeIndexedSampler(seed=seed, approximate=approximate).sample(
+            medium_cloud, 128
+        )
+        indices, counters = ref.ois_scalar(
+            medium_cloud, 128, approximate=approximate, seed=seed
+        )
+        assert np.array_equal(result.indices, indices)
+        assert counters_of(result.counters) == counters_of(counters)
+
+    def test_ois_identical_with_prebuilt_octree(self, cad_cloud):
+        octree = Octree.build(cad_cloud, depth=4)
+        result = OctreeIndexedSampler(octree_depth=4, seed=1).sample(
+            cad_cloud, 64, octree=octree
+        )
+        indices, counters = ref.ois_scalar(
+            cad_cloud, 64, octree_depth=4, seed=1, octree=octree
+        )
+        assert np.array_equal(result.indices, indices)
+        assert counters_of(result.counters) == counters_of(counters)
+
+    def test_ois_exhausts_every_point(self, small_cloud):
+        result = OctreeIndexedSampler(seed=0).sample(
+            small_cloud, small_cloud.num_points
+        )
+        indices, _ = ref.ois_scalar(small_cloud, small_cloud.num_points, seed=0)
+        assert np.array_equal(result.indices, indices)
+
+
+# ----------------------------------------------------------------------
+# Gathering equivalence
+# ----------------------------------------------------------------------
+class TestGatheringEquivalence:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"semi_approximate": True, "seed": 4},
+            {"depth": 3},
+            {"ball_radius": 0.2},
+            {"ball_radius": 0.04},
+        ],
+    )
+    def test_veg_identical_to_scalar_reference(self, medium_cloud, kwargs):
+        centroids = pick_random_centroids(medium_cloud, 40, seed=0)
+        result = VoxelExpandedGatherer(**kwargs).gather(medium_cloud, centroids, 12)
+        rows, counters, stage_stats = ref.veg_scalar(
+            medium_cloud,
+            centroids,
+            12,
+            depth=kwargs.get("depth"),
+            semi_approximate=kwargs.get("semi_approximate", False),
+            ball_radius=kwargs.get("ball_radius"),
+            seed=kwargs.get("seed", 0),
+        )
+        assert np.array_equal(result.neighbor_indices, rows)
+        assert counters_of(result.counters) == counters_of(counters)
+        observed = [
+            (
+                s.expansions,
+                s.inner_points,
+                s.last_shell_points,
+                s.sorted_candidates,
+                s.voxels_visited,
+            )
+            for s in result.info["run_stats"].per_centroid
+        ]
+        assert observed == stage_stats
+
+    def test_veg_tiny_cloud_padding_identical(self):
+        rng = np.random.default_rng(9)
+        cloud = PointCloud(points=rng.uniform(-1, 1, size=(25, 3)))
+        centroids = np.arange(10)
+        result = VoxelExpandedGatherer(depth=4, semi_approximate=True).gather(
+            cloud, centroids, 20
+        )
+        rows, counters, _ = ref.veg_scalar(
+            cloud, centroids, 20, depth=4, semi_approximate=True
+        )
+        assert np.array_equal(result.neighbor_indices, rows)
+        assert counters_of(result.counters) == counters_of(counters)
+
+    @pytest.mark.parametrize("radius", [0.05, 0.2, 0.6])
+    def test_ballquery_identical_to_scalar_reference(self, medium_cloud, radius):
+        centroids = pick_random_centroids(medium_cloud, 300, seed=1)
+        result = BallQueryGatherer(radius=radius).gather(medium_cloud, centroids, 10)
+        rows, truncated, padded = ref.ballquery_scalar(
+            medium_cloud, centroids, 10, radius
+        )
+        assert np.array_equal(result.neighbor_indices, rows)
+        assert result.info["groups_truncated"] == truncated
+        assert result.info["groups_padded"] == padded
+
+    def test_veg_exact_equals_bruteforce_knn_on_clustered_voxels(self):
+        """Exactness property: when every cluster is voxel-sized and holds
+        more than K points, VEG-exact recovers the true KNN sets.
+
+        Clusters are separated by several voxel edges while each cluster's
+        diameter stays well under one edge, so a centroid's K nearest all
+        come from its own cluster and the shell expansion covers them.
+        """
+        rng = np.random.default_rng(7)
+        lattice = rng.choice(8 * 8 * 8, size=12, replace=False)
+        centers = (
+            np.stack(
+                [lattice // 64, (lattice // 8) % 8, lattice % 8], axis=1
+            ).astype(np.float64)
+            + 0.5
+        ) / 8.0
+        cluster_size, neighbors = 12, 8
+        points = np.concatenate(
+            [
+                center + rng.uniform(-0.01, 0.01, size=(cluster_size, 3))
+                for center in centers
+            ]
+        )
+        cloud = PointCloud(points=points)
+        centroids = np.arange(0, cloud.num_points, 5)
+
+        veg = VoxelExpandedGatherer(depth=3).gather(cloud, centroids, neighbors)
+        knn = BruteForceKNN().gather(cloud, centroids, neighbors)
+        assert veg.neighbor_sets() == knn.neighbor_sets()
+
+    def test_knn_unchanged_by_chunk_size(self, medium_cloud):
+        """The memory-budget chunk helper must not affect results."""
+        centroids = pick_random_centroids(medium_cloud, 64, seed=3)
+        result = BruteForceKNN().gather(medium_cloud, centroids, 8)
+        brute = np.argsort(
+            pairwise_sq_dists(
+                medium_cloud.points[centroids], medium_cloud.points
+            ),
+            axis=1,
+        )[:, :8]
+        assert np.array_equal(np.sort(result.neighbor_indices), np.sort(brute))
