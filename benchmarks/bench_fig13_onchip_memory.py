@@ -31,7 +31,7 @@ def test_fig13_functional_octree_table_footprint(benchmark):
     cloud = lidar_scene(30_000, num_objects=10, seed=1)
 
     def build_table():
-        return OctreeTable.from_octree(Octree.build(cloud, depth=6))
+        return OctreeTable.from_flat(Octree.build(cloud, depth=6))
 
     table = benchmark.pedantic(build_table, rounds=1, iterations=1)
     ois_mb = table.total_megabits()

@@ -134,7 +134,9 @@ class PreprocessingEngine:
         num_samples = min(pre.num_samples, cloud.num_points)
 
         octree = Octree.build(cloud, depth=depth)
-        table = OctreeTable.from_octree(octree)
+        # Flat-path table construction: pure array work over the per-level
+        # code arrays, so the pointer tree stays unmaterialised end-to-end.
+        table = OctreeTable.from_flat(octree)
 
         sampler, accepts_octree = self._sampler_entry(depth)
         if accepts_octree:

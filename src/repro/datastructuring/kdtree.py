@@ -1,4 +1,4 @@
-"""k-d-tree neighbor gathering baseline.
+"""k-d-tree neighbor gathering baseline, array-backed.
 
 QuickNN and similar accelerators (Section II-B, "second type") organise the
 input cloud in a k-d tree and prune the search.  The exact-search variant
@@ -7,13 +7,26 @@ visiting far fewer points, which makes it a useful middle ground between the
 brute-force baseline and VEG when studying where the workload reduction comes
 from.  The tree is built from scratch (no scipy dependency) so node visits
 and distance computations can be counted faithfully.
+
+The tree is stored as parallel node arrays (axis/split/children/leaf
+ranges) over one permutation buffer instead of per-node Python objects: the
+build is an iterative stack over index-array segments partitioned with
+NumPy masks, and each query processes whole leaves with one squared-distance
+block (the :func:`repro.kernels.distance.pairwise_sq_dists` operation order,
+inlined for the single-query shape) plus a stable-sort top-k merge.  Both are bit-identical -- rows *and* counters -- to the frozen
+recursive/heap implementation in
+:func:`repro.kernels.reference.kdtree_gather_scalar`, except that exact
+distance ties straddling the k-th boundary may resolve to a different (but
+equidistant) neighbor index: the reference heap evicts the smallest index
+among tied maxima while the merge keeps earliest arrivals.  Counters and
+the per-row distance multisets agree even then (same note as the FPS
+sqrt-tie caveat in :func:`repro.kernels.reference.fps_scalar`).
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Tuple
 
 import numpy as np
 
@@ -23,24 +36,112 @@ from repro.geometry.pointcloud import PointCloud
 
 
 @dataclass
-class _KDNode:
-    """One node of the k-d tree (leaf nodes hold point indices)."""
+class _KDArrays:
+    """One built k-d tree: an index-array permutation plus flat node tables.
 
-    axis: int = -1
-    split: float = 0.0
-    left: Optional["_KDNode"] = None
-    right: Optional["_KDNode"] = None
-    indices: Optional[np.ndarray] = None
+    Node ``n`` is a leaf iff ``axes[n] < 0``; leaves own the permutation
+    slice ``perm[starts[n] : starts[n] + counts[n]]``.  Internal nodes
+    split on ``axes[n]`` at ``splits[n]`` with children ``lefts[n]`` /
+    ``rights[n]``.  The per-node metadata is kept as plain Python lists:
+    the traversal inner loop reads one scalar per node, where list indexing
+    beats NumPy scalar indexing severalfold; the bulk data (``perm``, and
+    the points it indexes) stays in arrays.
+    """
 
-    @property
-    def is_leaf(self) -> bool:
-        return self.indices is not None
+    axes: List[int]
+    splits: List[float]
+    lefts: List[int]
+    rights: List[int]
+    starts: List[int]
+    counts: List[int]
+    perm: np.ndarray
+
+
+def _build_arrays(points: np.ndarray, leaf_size: int) -> _KDArrays:
+    """Iterative median-split build over one index buffer.
+
+    Each stack entry is a ``(start, end, depth, node)`` segment of ``perm``;
+    the segment is stably partitioned in place around the median of its
+    split axis, which reproduces the recursive build's subtrees exactly
+    (masking an index array preserves relative order on both sides).
+    """
+    num_points = points.shape[0]
+    perm = np.arange(num_points, dtype=np.intp)
+
+    axes: List[int] = []
+    splits: List[float] = []
+    lefts: List[int] = []
+    rights: List[int] = []
+    starts: List[int] = []
+    counts: List[int] = []
+
+    def new_node() -> int:
+        axes.append(-1)
+        splits.append(0.0)
+        lefts.append(-1)
+        rights.append(-1)
+        starts.append(0)
+        counts.append(0)
+        return len(axes) - 1
+
+    root = new_node()
+    stack: List[Tuple[int, int, int, int]] = [(0, num_points, 0, root)]
+    while stack:
+        start, end, depth, node = stack.pop()
+        if end - start <= leaf_size:
+            starts[node] = start
+            counts[node] = end - start
+            continue
+        segment = perm[start:end]
+        axis = depth % 3
+        values = points[segment, axis]
+        # Median via a direct partition: bit-identical to ``np.median``
+        # (same partition kths, same (a + b) / 2 midpoint) at a fraction of
+        # its per-call dispatch overhead, which dominates tree construction.
+        size = values.shape[0]
+        half = size >> 1
+        if size & 1:
+            median = float(np.partition(values, half)[half])
+        else:
+            part = np.partition(values, (half - 1, half))
+            median = float((part[half - 1] + part[half]) / 2.0)
+        left_mask = values <= median
+        if left_mask.all() or not left_mask.any():
+            # Degenerate split (all values equal): fall back to a leaf.
+            starts[node] = start
+            counts[node] = end - start
+            continue
+        left_seg = segment[left_mask]
+        right_seg = segment[~left_mask]
+        perm[start : start + left_seg.shape[0]] = left_seg
+        perm[start + left_seg.shape[0] : end] = right_seg
+        axes[node] = axis
+        splits[node] = median
+        lefts[node] = new_node()
+        rights[node] = new_node()
+        middle = start + left_seg.shape[0]
+        stack.append((middle, end, depth + 1, rights[node]))
+        stack.append((start, middle, depth + 1, lefts[node]))
+
+    return _KDArrays(
+        axes=axes,
+        splits=splits,
+        lefts=lefts,
+        rights=rights,
+        starts=starts,
+        counts=counts,
+        perm=perm,
+    )
 
 
 class KDTreeGatherer(Gatherer):
-    """Exact KNN via a from-scratch k-d tree."""
+    """Exact KNN via a from-scratch, array-backed k-d tree."""
 
     name = "kdtree"
+
+    #: Stack tags of the iterative depth-first query.
+    _VISIT = 0
+    _FAR_CHECK = 1
 
     def __init__(self, leaf_size: int = 16):
         if leaf_size < 1:
@@ -48,54 +149,102 @@ class KDTreeGatherer(Gatherer):
         self._leaf_size = leaf_size
 
     # ------------------------------------------------------------------
-    def _build(self, points: np.ndarray, indices: np.ndarray, depth: int) -> _KDNode:
-        if indices.shape[0] <= self._leaf_size:
-            return _KDNode(indices=indices)
-        axis = depth % 3
-        values = points[indices, axis]
-        median = float(np.median(values))
-        left_mask = values <= median
-        # Degenerate split (all values equal): fall back to a leaf.
-        if left_mask.all() or not left_mask.any():
-            return _KDNode(indices=indices)
-        return _KDNode(
-            axis=axis,
-            split=median,
-            left=self._build(points, indices[left_mask], depth + 1),
-            right=self._build(points, indices[~left_mask], depth + 1),
-        )
-
     def _query(
         self,
-        node: _KDNode,
+        tree: _KDArrays,
         points: np.ndarray,
         target: np.ndarray,
         neighbors: int,
-        heap: List[tuple],
         counters: OpCounters,
-    ) -> None:
-        counters.node_visits += 1
-        if node.is_leaf:
-            for idx in node.indices:
-                counters.distance_computations += 1
-                counters.host_memory_reads += 1
-                dist = float(((points[idx] - target) ** 2).sum())
-                if len(heap) < neighbors:
-                    heapq.heappush(heap, (-dist, int(idx)))
-                elif dist < -heap[0][0]:
-                    counters.compare_ops += 1
-                    heapq.heapreplace(heap, (-dist, int(idx)))
-                else:
-                    counters.compare_ops += 1
-            return
-        diff = target[node.axis] - node.split
-        near, far = (node.left, node.right) if diff <= 0 else (node.right, node.left)
-        self._query(near, points, target, neighbors, heap, counters)
-        # Prune the far side unless the splitting plane is closer than the
-        # current k-th neighbor.
-        counters.compare_ops += 1
-        if len(heap) < neighbors or diff * diff < -heap[0][0]:
-            self._query(far, points, target, neighbors, heap, counters)
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pruned depth-first search; returns the candidate (dists, indices).
+
+        Candidates are kept in arrival order and merged with each leaf block
+        by a stable sort on distance, so the kept set matches the reference
+        heap whenever the k-th boundary distance is unique (see the tie
+        caveat in the module docstring).
+
+        The traversal bookkeeping runs on plain Python lists/floats (node
+        metadata is small; NumPy scalar indexing would dominate the walk)
+        while each leaf is processed as one array block.
+        """
+        axes, splits = tree.axes, tree.splits
+        lefts, rights = tree.lefts, tree.rights
+        starts, counts = tree.starts, tree.counts
+        target_xyz = target.tolist()
+
+        cand_dists = np.empty(0, dtype=np.float64)
+        cand_index = np.empty(0, dtype=np.intp)
+        cand_size = 0
+        kth = np.inf
+        node_visits = 0
+        compare_ops = 0
+        point_reads = 0
+
+        # Stack entries: (_VISIT, node, 0.0) runs a subtree; (_FAR_CHECK,
+        # node, plane_dist) replays the reference's post-recursion pruning
+        # decision for the far child after the near subtree completed.
+        stack: List[Tuple[int, int, float]] = [(self._VISIT, 0, 0.0)]
+        while stack:
+            tag, node, diff = stack.pop()
+            if tag == self._FAR_CHECK:
+                # Prune the far side unless the splitting plane is closer
+                # than the current k-th neighbor.
+                compare_ops += 1
+                if cand_size < neighbors or diff * diff < kth:
+                    stack.append((self._VISIT, node, 0.0))
+                continue
+
+            node_visits += 1
+            axis = axes[node]
+            if axis < 0:
+                start = starts[node]
+                count = counts[node]
+                leaf_points = tree.perm[start : start + count]
+                # One block of squared distances per leaf; same elementwise
+                # operation order as ``kernels.pairwise_sq_dists`` (and the
+                # reference's per-point sum), inlined to skip the broadcast
+                # machinery of the (1, C) query shape.
+                diff = points[leaf_points] - target
+                dists = (diff**2).sum(axis=-1)
+                point_reads += count
+                # The reference pushes while the heap has free slots (no
+                # comparison charged) and compares once per point after it
+                # fills.
+                free = neighbors - cand_size
+                if free < count:
+                    compare_ops += count - max(0, free)
+
+                if free <= 0 and float(dists.min()) >= kth:
+                    # The reference rejects every point with dist >= kth
+                    # (strict ``<`` replacement), so a leaf whose nearest
+                    # point does not beat the k-th candidate changes nothing.
+                    continue
+                cand_dists = np.concatenate([cand_dists, dists])
+                cand_index = np.concatenate([cand_index, leaf_points])
+                if cand_index.shape[0] > neighbors:
+                    keep = np.argsort(cand_dists, kind="stable")[:neighbors]
+                    keep.sort()  # preserve arrival order among the kept
+                    cand_dists = cand_dists[keep]
+                    cand_index = cand_index[keep]
+                cand_size = cand_index.shape[0]
+                if cand_size >= neighbors:
+                    kth = float(cand_dists.max())
+                continue
+
+            plane_dist = target_xyz[axis] - splits[node]
+            if plane_dist <= 0:
+                near, far = lefts[node], rights[node]
+            else:
+                near, far = rights[node], lefts[node]
+            stack.append((self._FAR_CHECK, far, plane_dist))
+            stack.append((self._VISIT, near, 0.0))
+
+        counters.node_visits += node_visits
+        counters.compare_ops += compare_ops
+        counters.distance_computations += point_reads
+        counters.host_memory_reads += point_reads
+        return cand_dists, cand_index
 
     # ------------------------------------------------------------------
     def gather(
@@ -109,7 +258,7 @@ class KDTreeGatherer(Gatherer):
         points = cloud.points
         counters = OpCounters()
 
-        root = self._build(points, np.arange(cloud.num_points, dtype=np.intp), 0)
+        tree = _build_arrays(points, self._leaf_size)
         # Tree construction: one streaming pass over the points per level is
         # the usual accounting; charge a single read per point here since the
         # build is offline relative to the per-centroid queries.
@@ -117,10 +266,10 @@ class KDTreeGatherer(Gatherer):
 
         rows = np.empty((centroid_indices.shape[0], neighbors), dtype=np.intp)
         for i, centroid in enumerate(centroid_indices):
-            heap: List[tuple] = []
-            self._query(root, points, points[centroid], neighbors, heap, counters)
-            ordered = sorted(((-d, idx) for d, idx in heap))
-            rows[i] = [idx for _, idx in ordered]
+            dists, index = self._query(
+                tree, points, points[centroid], neighbors, counters
+            )
+            rows[i] = index[np.lexsort((index, dists))]
         return GatherResult(
             neighbor_indices=rows,
             centroid_indices=centroid_indices,

@@ -25,75 +25,10 @@ from repro.geometry.pointcloud import PointCloud
 from repro.kernels import (
     bucketize_codes,
     decode_cells,
-    encode_cells,
     lookup_sorted,
+    shell_offsets,
+    stencil_codes,
 )
-
-#: Cache of Chebyshev shell offset stencils: radius -> (S, 3) int64 array in
-#: the (dx, dy, dz) lexicographic enumeration order of the scalar reference.
-#: Only small radii are retained; the stencil size is O(r^2), so an
-#: unbounded cache over a deep expansion would approach the full-cube O(R^3)
-#: footprint.
-_SHELL_OFFSET_CACHE: Dict[int, np.ndarray] = {}
-_SHELL_OFFSET_CACHE_MAX_RADIUS = 32
-
-
-def _shell_ring_2d(radius: int) -> np.ndarray:
-    """The 2-D Chebyshev ring at ``radius`` in (dy, dz) lexicographic order."""
-    span = np.arange(-radius, radius + 1, dtype=np.int64)
-    interior = span[1:-1]
-    blocks = [
-        np.stack([np.full(span.shape[0], -radius, dtype=np.int64), span], axis=1)
-    ]
-    if interior.size:
-        edges = np.empty((interior.shape[0] * 2, 2), dtype=np.int64)
-        edges[0::2, 0] = interior
-        edges[0::2, 1] = -radius
-        edges[1::2, 0] = interior
-        edges[1::2, 1] = radius
-        blocks.append(edges)
-    blocks.append(
-        np.stack([np.full(span.shape[0], radius, dtype=np.int64), span], axis=1)
-    )
-    return np.concatenate(blocks)
-
-
-def shell_offsets(radius: int) -> np.ndarray:
-    """Integer offsets of the Chebyshev shell at ``radius``, stencil-ordered.
-
-    ``radius = 0`` is the single centre offset; ``radius = 1`` the 26
-    touching voxels, enumerated in the same nested ``dx, dy, dz`` order as
-    the scalar triple loop so downstream gathers see candidates in an
-    identical sequence.  Only the shell itself is materialised (O(r^2)
-    memory), never the enclosing cube.
-    """
-    if radius < 0:
-        raise ValueError("radius must be >= 0")
-    cached = _SHELL_OFFSET_CACHE.get(radius)
-    if cached is not None:
-        return cached
-    if radius == 0:
-        offsets = np.zeros((1, 3), dtype=np.int64)
-    else:
-        span = np.arange(-radius, radius + 1, dtype=np.int64)
-        face = np.stack(
-            np.meshgrid(span, span, indexing="ij"), axis=-1
-        ).reshape(-1, 2)
-        ring = _shell_ring_2d(radius)
-        blocks = []
-        for dx in span:
-            plane = face if abs(int(dx)) == radius else ring
-            block = np.empty((plane.shape[0], 3), dtype=np.int64)
-            block[:, 0] = dx
-            block[:, 1:] = plane
-            blocks.append(block)
-        offsets = np.concatenate(blocks)
-    # The stencil is shared process-wide; freeze it so no caller can corrupt
-    # the cached enumeration order.
-    offsets.setflags(write=False)
-    if radius <= _SHELL_OFFSET_CACHE_MAX_RADIUS:
-        _SHELL_OFFSET_CACHE[radius] = offsets
-    return offsets
 
 
 @dataclass
@@ -207,16 +142,8 @@ class VoxelGrid:
         masks in-bounds, occupied stencil entries.  Within each row the
         stencil order matches the scalar ``shell_codes`` enumeration.
         """
-        offsets = shell_offsets(radius)
-        coords = center_cells[:, None, :] + offsets[None, :, :]
-        in_bounds = np.logical_and(
-            coords >= 0, coords < self.resolution
-        ).all(axis=-1)
-        # Clip so the encoder never sees out-of-range cells; the mask drops
-        # the clipped entries afterwards.
-        clipped = np.clip(coords, 0, self.resolution - 1)
-        codes = encode_cells(clipped.reshape(-1, 3), self.depth).reshape(
-            in_bounds.shape
+        codes, in_bounds = stencil_codes(
+            center_cells, shell_offsets(radius), self.depth
         )
         positions, occupied = lookup_sorted(self.unique_codes, codes)
         return positions, in_bounds & occupied

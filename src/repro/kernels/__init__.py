@@ -25,6 +25,9 @@ Modules
 ``distance``
     Chunked pairwise squared distances and grouped top-k selection via
     ``argpartition``.
+``stencil``
+    Cached Chebyshev offset stencils (shared by VEG and the octree neighbor
+    helpers) and array-wide same-level neighbor code generation.
 ``reference``
     The retained scalar reference implementations (not imported eagerly --
     it depends on the higher-level geometry/octree modules).
@@ -45,13 +48,23 @@ from repro.kernels.morton import (
 from repro.kernels.bucketing import (
     bucketize_codes,
     gather_ragged,
+    isin_sorted,
     lookup_sorted,
     segment_boundaries,
+    unique_sorted,
 )
 from repro.kernels.distance import (
     grouped_topk,
     iter_distance_chunks,
     pairwise_sq_dists,
+)
+from repro.kernels.stencil import (
+    chebyshev_codes,
+    cube_offsets,
+    face_shell_offsets,
+    shell_codes_batch,
+    shell_offsets,
+    stencil_codes,
 )
 
 __all__ = [
@@ -65,9 +78,17 @@ __all__ = [
     "popcount64",
     "bucketize_codes",
     "gather_ragged",
+    "isin_sorted",
     "lookup_sorted",
     "segment_boundaries",
+    "unique_sorted",
     "grouped_topk",
     "iter_distance_chunks",
     "pairwise_sq_dists",
+    "chebyshev_codes",
+    "cube_offsets",
+    "face_shell_offsets",
+    "shell_codes_batch",
+    "shell_offsets",
+    "stencil_codes",
 ]

@@ -57,6 +57,32 @@ def lookup_sorted(
     return positions, found
 
 
+def unique_sorted(sorted_values: np.ndarray) -> np.ndarray:
+    """Unique values of an already-sorted array, without re-sorting.
+
+    ``np.unique`` sorts unconditionally; when the input is known sorted
+    (octree per-level codes, bucketed voxel codes) a neighbour-inequality
+    mask gets the same result severalfold faster.
+    """
+    sorted_values = np.asarray(sorted_values)
+    if sorted_values.shape[0] == 0:
+        return sorted_values
+    keep = np.empty(sorted_values.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(sorted_values[1:], sorted_values[:-1], out=keep[1:])
+    return sorted_values[keep]
+
+
+def isin_sorted(sorted_values: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Membership mask of ``queries`` in an ascending-sorted array.
+
+    The ``searchsorted`` replacement for the per-call ``set`` the scalar
+    ``filter_occupied`` built: O(Q log N) with no Python-object hashing.
+    """
+    _, found = lookup_sorted(np.asarray(sorted_values), queries)
+    return found
+
+
 def gather_ragged(
     values: np.ndarray, starts: np.ndarray, counts: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:

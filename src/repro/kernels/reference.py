@@ -513,6 +513,269 @@ def veg_scalar(
 
 
 # ----------------------------------------------------------------------
+# Same-level neighbor search (pre-kernel per-code triple loops)
+# ----------------------------------------------------------------------
+def neighbor_codes_at_radius_scalar(
+    code: int,
+    depth: int,
+    radius: int,
+    include_diagonal: bool = True,
+) -> List[int]:
+    """The pre-kernel Chebyshev-shell enumeration: one Python triple loop."""
+    if radius < 0:
+        raise ValueError("radius must be >= 0")
+    if radius == 0:
+        return [code]
+    cx, cy, cz = scalar_morton_decode(code, depth)
+    resolution = 1 << depth
+    result: List[int] = []
+    for dx in range(-radius, radius + 1):
+        for dy in range(-radius, radius + 1):
+            for dz in range(-radius, radius + 1):
+                cheb = max(abs(dx), abs(dy), abs(dz))
+                if cheb != radius:
+                    continue
+                if not include_diagonal and abs(dx) + abs(dy) + abs(dz) != radius:
+                    continue
+                ix, iy, iz = cx + dx, cy + dy, cz + dz
+                if not (
+                    0 <= ix < resolution
+                    and 0 <= iy < resolution
+                    and 0 <= iz < resolution
+                ):
+                    continue
+                result.append(scalar_morton_encode(ix, iy, iz, depth))
+    return sorted(result)
+
+
+def codes_within_radius_scalar(code: int, depth: int, radius: int) -> List[int]:
+    """The pre-kernel cube enumeration: shell loops plus a ``set`` dedup."""
+    result: List[int] = []
+    for shell in range(radius + 1):
+        result.extend(neighbor_codes_at_radius_scalar(code, depth, shell))
+    return sorted(set(result))
+
+
+def chebyshev_distance_scalar(code_a: int, code_b: int, depth: int) -> int:
+    """The pre-kernel per-pair decode + max-abs-difference."""
+    ax, ay, az = scalar_morton_decode(code_a, depth)
+    bx, by, bz = scalar_morton_decode(code_b, depth)
+    return max(abs(ax - bx), abs(ay - by), abs(az - bz))
+
+
+def filter_occupied_scalar(codes, occupied) -> List[int]:
+    """The pre-kernel membership filter: a per-call Python ``set``."""
+    occupied_set = set(int(c) for c in occupied)
+    return [int(c) for c in codes if int(c) in occupied_set]
+
+
+# ----------------------------------------------------------------------
+# Octree-Table construction (pre-flat recursive pointer-tree emit)
+# ----------------------------------------------------------------------
+def octree_table_scalar(octree: Octree):
+    """The pre-flat ``OctreeTable.from_octree``: recursive node-by-node emit.
+
+    Walks the pointer tree (forcing its lazy materialisation when needed),
+    collecting one row per node in pre-order with dict child links, then
+    packs the rows into the array-backed table type for comparison.
+    """
+    from repro.octree.linear import OctreeTable
+
+    leaf_ranges: Dict[int, Tuple[int, int]] = {}
+    cursor = 0
+    for leaf in octree.leaves_in_sfc_order():
+        start = cursor
+        cursor += leaf.num_points
+        leaf_ranges[leaf.code] = (start, cursor)
+
+    codes: List[int] = []
+    levels: List[int] = []
+    leaf_flags: List[bool] = []
+    children: List[Dict[int, int]] = []
+    addr: List[Tuple[int, int]] = []
+
+    def emit(node: OctreeNode) -> int:
+        row = len(codes)
+        codes.append(node.code)
+        levels.append(node.level)
+        leaf_flags.append(node.is_leaf)
+        children.append({})
+        addr.append(
+            leaf_ranges.get(node.code, (0, 0)) if node.is_leaf else (0, 0)
+        )
+        for octant in node.occupied_octants():
+            children[row][octant] = emit(node.children[octant])
+        return row
+
+    root_index = emit(octree.root)
+    return OctreeTable._from_rows(
+        depth=octree.depth,
+        codes=codes,
+        levels=levels,
+        leaf_flags=leaf_flags,
+        children=children,
+        addr=addr,
+        root_index=root_index,
+    )
+
+
+def leaf_slot_range_scan(octree: Octree, leaf_code: int) -> Tuple[int, int]:
+    """The pre-searchsorted ``HostMemoryLayout.leaf_slot_range``: O(leaves).
+
+    Walks the materialised leaves in SFC order accumulating point counts
+    until the requested code is found.
+    """
+    cursor = 0
+    for leaf in octree.leaves_in_sfc_order():
+        if leaf.code == leaf_code:
+            return cursor, cursor + leaf.num_points
+        cursor += leaf.num_points
+    raise KeyError(f"no occupied leaf with code {leaf_code}")
+
+
+# ----------------------------------------------------------------------
+# k-d tree gathering (pre-array recursive build + per-point heap query)
+# ----------------------------------------------------------------------
+class _KDNodeScalar:
+    """One node of the reference k-d tree (leaves hold point indices)."""
+
+    __slots__ = ("axis", "split", "left", "right", "indices")
+
+    def __init__(self, axis=-1, split=0.0, left=None, right=None, indices=None):
+        self.axis = axis
+        self.split = split
+        self.left = left
+        self.right = right
+        self.indices = indices
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.indices is not None
+
+
+def _kdtree_build_scalar(
+    points: np.ndarray, indices: np.ndarray, depth: int, leaf_size: int
+) -> _KDNodeScalar:
+    if indices.shape[0] <= leaf_size:
+        return _KDNodeScalar(indices=indices)
+    axis = depth % 3
+    values = points[indices, axis]
+    median = float(np.median(values))
+    left_mask = values <= median
+    # Degenerate split (all values equal): fall back to a leaf.
+    if left_mask.all() or not left_mask.any():
+        return _KDNodeScalar(indices=indices)
+    return _KDNodeScalar(
+        axis=axis,
+        split=median,
+        left=_kdtree_build_scalar(points, indices[left_mask], depth + 1, leaf_size),
+        right=_kdtree_build_scalar(points, indices[~left_mask], depth + 1, leaf_size),
+    )
+
+
+def _kdtree_query_scalar(
+    node: _KDNodeScalar,
+    points: np.ndarray,
+    target: np.ndarray,
+    neighbors: int,
+    heap: List[tuple],
+    counters: OpCounters,
+) -> None:
+    import heapq
+
+    counters.node_visits += 1
+    if node.is_leaf:
+        for idx in node.indices:
+            counters.distance_computations += 1
+            counters.host_memory_reads += 1
+            dist = float(((points[idx] - target) ** 2).sum())
+            if len(heap) < neighbors:
+                heapq.heappush(heap, (-dist, int(idx)))
+            elif dist < -heap[0][0]:
+                counters.compare_ops += 1
+                heapq.heapreplace(heap, (-dist, int(idx)))
+            else:
+                counters.compare_ops += 1
+        return
+    diff = target[node.axis] - node.split
+    near, far = (node.left, node.right) if diff <= 0 else (node.right, node.left)
+    _kdtree_query_scalar(near, points, target, neighbors, heap, counters)
+    # Prune the far side unless the splitting plane is closer than the
+    # current k-th neighbor.
+    counters.compare_ops += 1
+    if len(heap) < neighbors or diff * diff < -heap[0][0]:
+        _kdtree_query_scalar(far, points, target, neighbors, heap, counters)
+
+
+def kdtree_gather_scalar(
+    cloud: PointCloud,
+    centroid_indices: np.ndarray,
+    neighbors: int,
+    leaf_size: int = 16,
+) -> Tuple[np.ndarray, OpCounters]:
+    """The pre-array ``KDTreeGatherer.gather``; returns ``(rows, counters)``."""
+    centroid_indices = np.asarray(centroid_indices, dtype=np.intp)
+    points = cloud.points
+    counters = OpCounters()
+
+    root = _kdtree_build_scalar(
+        points, np.arange(cloud.num_points, dtype=np.intp), 0, leaf_size
+    )
+    counters.host_memory_reads += cloud.num_points
+
+    rows = np.empty((centroid_indices.shape[0], neighbors), dtype=np.intp)
+    for i, centroid in enumerate(centroid_indices):
+        heap: List[tuple] = []
+        _kdtree_query_scalar(
+            root, points, points[centroid], neighbors, heap, counters
+        )
+        ordered = sorted(((-d, idx) for d, idx in heap))
+        rows[i] = [idx for _, idx in ordered]
+    return rows, counters
+
+
+# ----------------------------------------------------------------------
+# Voxel-grid down-sampling (pre-kernel per-voxel representative loop)
+# ----------------------------------------------------------------------
+def voxelgrid_sample_scalar(cloud: PointCloud, num_samples: int, depth: int):
+    """The pre-kernel per-voxel representative picking; returns indices.
+
+    One ``points_in_voxel`` call (and Python bucket indexing) per visited
+    voxel, plus the dict-histogram fill loop for under-full requests.
+    """
+    from repro.geometry.voxelgrid import VoxelGrid
+
+    grid = VoxelGrid.build(cloud, depth)
+    selected: List[int] = []
+    codes = grid.occupied_codes()
+    take = min(num_samples, len(codes))
+    positions = np.linspace(0, len(codes) - 1, take).round().astype(int)
+    for code in codes[np.unique(positions)]:
+        if len(selected) >= num_samples:
+            break
+        bucket = grid.points_in_voxel(int(code))
+        selected.append(int(bucket[0]))
+    if len(selected) < num_samples:
+        # Fill the remainder from the most populated voxels.
+        histogram = sorted(
+            grid.occupancy_histogram().items(),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        taken = set(selected)
+        for code, _count in histogram:
+            for idx in grid.points_in_voxel(code):
+                if len(selected) >= num_samples:
+                    break
+                if int(idx) not in taken:
+                    selected.append(int(idx))
+                    taken.add(int(idx))
+            if len(selected) >= num_samples:
+                break
+    return np.asarray(selected[:num_samples], dtype=np.intp)
+
+
+# ----------------------------------------------------------------------
 # Brute-force ball query (pre-kernel per-row inner loop)
 # ----------------------------------------------------------------------
 def ballquery_scalar(

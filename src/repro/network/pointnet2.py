@@ -182,13 +182,19 @@ class FeaturePropagation:
         if coarse_cloud.num_points == 1:
             interpolated = np.repeat(coarse_features, dense_cloud.num_points, axis=0)
         else:
+            # Select the 3 nearest coarse points on squared distances (sqrt
+            # is monotone, so the selection is unchanged); the sqrt is paid
+            # only for the k kept entries that feed the inverse-distance
+            # weights -- the same convention as the FPS sampler.
             diff = (
                 dense_cloud.points[:, None, :] - coarse_cloud.points[None, :, :]
             )
-            dist = np.sqrt((diff**2).sum(axis=-1)) + 1e-10
+            sq_dist = (diff**2).sum(axis=-1)
             k = min(3, coarse_cloud.num_points)
-            nearest = np.argpartition(dist, kth=k - 1, axis=1)[:, :k]
-            near_dist = np.take_along_axis(dist, nearest, axis=1)
+            nearest = np.argpartition(sq_dist, kth=k - 1, axis=1)[:, :k]
+            near_dist = (
+                np.sqrt(np.take_along_axis(sq_dist, nearest, axis=1)) + 1e-10
+            )
             weights = 1.0 / near_dist
             weights = weights / weights.sum(axis=1, keepdims=True)
             interpolated = (coarse_features[nearest] * weights[..., None]).sum(axis=1)

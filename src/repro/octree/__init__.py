@@ -19,7 +19,12 @@ are built on (Sections IV-VI of the paper):
 from repro.octree.builder import Octree, OctreeBuildStats
 from repro.octree.linear import OctreeTable, OctreeTableEntry
 from repro.octree.memory_layout import HostMemoryLayout
-from repro.octree.neighbors import neighbor_codes, neighbor_codes_at_radius
+from repro.octree.neighbors import (
+    codes_within_radius_batch,
+    neighbor_codes,
+    neighbor_codes_at_radius,
+    neighbor_codes_batch,
+)
 from repro.octree.node import OctreeNode
 
 __all__ = [
@@ -29,6 +34,8 @@ __all__ = [
     "OctreeNode",
     "OctreeTable",
     "OctreeTableEntry",
+    "codes_within_radius_batch",
     "neighbor_codes",
     "neighbor_codes_at_radius",
+    "neighbor_codes_batch",
 ]

@@ -23,7 +23,7 @@ import numpy as np
 from repro.geometry.bbox import AxisAlignedBox
 from repro.geometry.morton import morton_encode_points, voxel_center
 from repro.geometry.pointcloud import PointCloud
-from repro.kernels import bucketize_codes
+from repro.kernels import bucketize_codes, unique_sorted
 from repro.octree.node import OctreeNode
 
 
@@ -69,6 +69,10 @@ class Octree:
     #: Leaf bucket geometry over ``_sfc_order`` (for lazy materialisation).
     _bucket_starts: Optional[np.ndarray] = field(default=None, repr=False)
     _bucket_counts: Optional[np.ndarray] = field(default=None, repr=False)
+    #: Cached cumulative leaf point counts (``num_leaves + 1`` slot bounds).
+    _slot_bounds: Optional[np.ndarray] = field(default=None, repr=False)
+    #: Cached sorted node codes per level (the canonical flat representation).
+    _level_codes: Optional[List[np.ndarray]] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Construction
@@ -108,7 +112,9 @@ class Octree:
         num_nodes = 1 + int(unique_codes.shape[0])  # root + leaves
         prefixes = unique_codes
         for _ in range(depth - 1, 0, -1):
-            prefixes = np.unique(prefixes >> 3)
+            # Right-shifting a sorted array keeps it sorted, so the level
+            # above needs no re-sorting unique.
+            prefixes = unique_sorted(prefixes >> 3)
             num_nodes += int(prefixes.shape[0])
 
         stats.num_nodes = num_nodes
@@ -146,10 +152,7 @@ class Octree:
         depth = self.depth
         root = OctreeNode(code=0, level=0, box=self.box)
 
-        level_codes: List[Optional[np.ndarray]] = [None] * (depth + 1)
-        level_codes[depth] = self.leaf_codes
-        for level in range(depth - 1, 0, -1):
-            level_codes[level] = np.unique(level_codes[level + 1] >> 3)
+        level_codes = self.codes_per_level()
 
         box_minimum = self.box.minimum
         box_size = self.box.size
@@ -173,15 +176,7 @@ class Octree:
             previous = current
 
         order = self._sfc_order_cached()
-        if self._bucket_starts is None or self._bucket_counts is None:
-            sorted_codes = self.point_codes[order]
-            self._bucket_starts = np.searchsorted(
-                sorted_codes, self.leaf_codes, side="left"
-            ).astype(np.intp)
-            self._bucket_counts = (
-                np.searchsorted(sorted_codes, self.leaf_codes, side="right")
-                - self._bucket_starts
-            ).astype(np.intp)
+        self._ensure_buckets()
         for position, code in enumerate(self.leaf_codes.tolist()):
             start = self._bucket_starts[position]
             previous[code].point_indices = order[
@@ -202,6 +197,28 @@ class Octree:
         if self._leaf_lookup is None:
             self._materialise_tree()
         return self._leaf_lookup
+
+    # ------------------------------------------------------------------
+    # Flat representation
+    # ------------------------------------------------------------------
+    def codes_per_level(self) -> List[np.ndarray]:
+        """Sorted node m-codes for levels 0..depth.
+
+        ``codes_per_level()[L]`` holds the ascending codes of the occupied
+        voxels at level ``L`` (level 0 is the root, level ``depth`` the
+        leaves).  Together with :meth:`leaf_point_counts` this is the
+        canonical flat octree representation; every consumer that only needs
+        codes, occupancy, or address ranges reads these arrays and never
+        materialises an :class:`OctreeNode`.
+        """
+        if self._level_codes is None:
+            levels: List[np.ndarray] = [self.leaf_codes] * (self.depth + 1)
+            for level in range(self.depth - 1, -1, -1):
+                # Each level's codes are sorted, and a right shift preserves
+                # that, so deduplication needs no re-sorting unique.
+                levels[level] = unique_sorted(levels[level + 1] >> 3)
+            self._level_codes = levels
+        return self._level_codes
 
     # ------------------------------------------------------------------
     # Queries
@@ -232,6 +249,60 @@ class Octree:
             self._sfc_order = np.argsort(self.point_codes, kind="stable")
         return self._sfc_order
 
+    def _ensure_buckets(self) -> None:
+        """Compute the flat leaf buckets (starts/counts over the SFC order).
+
+        Pure array work over the sorted point codes -- never materialises the
+        pointer tree.
+        """
+        if self._bucket_starts is not None and self._bucket_counts is not None:
+            return
+        sorted_codes = self.point_codes[self._sfc_order_cached()]
+        self._bucket_starts = np.searchsorted(
+            sorted_codes, self.leaf_codes, side="left"
+        ).astype(np.intp)
+        self._bucket_counts = (
+            np.searchsorted(sorted_codes, self.leaf_codes, side="right")
+            - self._bucket_starts
+        ).astype(np.intp)
+
+    def leaf_point_counts(self) -> np.ndarray:
+        """Points per leaf, aligned with ``leaf_codes`` (read-only view).
+
+        Flat-path accessor: computed from the sorted point codes, without
+        materialising the pointer tree.
+        """
+        self._ensure_buckets()
+        view = self._bucket_counts.view()
+        view.flags.writeable = False
+        return view
+
+    def leaf_slot_bounds(self) -> np.ndarray:
+        """Cumulative leaf point counts as ``num_leaves + 1`` slot bounds.
+
+        ``bounds[i] : bounds[i + 1]`` is the half-open range of SFC slots
+        (host-memory point slots relative to the reorganised region base)
+        holding the points of leaf ``leaf_codes[i]``.  This is the
+        searchsorted side of the Octree-Table address ranges and of
+        :meth:`HostMemoryLayout.leaf_slot_range`.
+        """
+        if self._slot_bounds is None:
+            bounds = np.zeros(self.num_leaves + 1, dtype=np.intp)
+            np.cumsum(self.leaf_point_counts(), out=bounds[1:])
+            bounds.setflags(write=False)
+            self._slot_bounds = bounds
+        return self._slot_bounds
+
+    def leaf_position(self, code: int) -> int:
+        """Index of leaf ``code`` in the flat leaf arrays, or -1 when empty."""
+        position = int(np.searchsorted(self.leaf_codes, code))
+        if (
+            position < self.num_leaves
+            and int(self.leaf_codes[position]) == int(code)
+        ):
+            return position
+        return -1
+
     def points_in_sfc_order(self) -> np.ndarray:
         """Point indices concatenated in leaf-SFC order (read-only view).
 
@@ -253,12 +324,7 @@ class Octree:
 
     def _leaf_occupancies(self) -> np.ndarray:
         """Points per leaf, aligned with ``leaf_codes``."""
-        if self._bucket_counts is not None:
-            return self._bucket_counts
-        return np.array(
-            [leaf.num_points for leaf in self.leaves_in_sfc_order()],
-            dtype=np.intp,
-        )
+        return self.leaf_point_counts()
 
     def occupancy_histogram(self) -> Dict[int, int]:
         return {

@@ -103,14 +103,15 @@ class HostMemoryLayout:
 
         The octree's leaves were laid out consecutively in SFC order, so a
         leaf's slots are contiguous; this is the address-range property the
-        Octree-Table relies on.
+        Octree-Table relies on.  One binary search over the flat leaf codes
+        plus the cached cumulative point counts -- the scan it replaces is
+        retained as :func:`repro.kernels.reference.leaf_slot_range_scan`.
         """
-        cursor = 0
-        for leaf in self.octree.leaves_in_sfc_order():
-            if leaf.code == leaf_code:
-                return cursor, cursor + leaf.num_points
-            cursor += leaf.num_points
-        raise KeyError(f"no occupied leaf with code {leaf_code}")
+        position = self.octree.leaf_position(leaf_code)
+        if position < 0:
+            raise KeyError(f"no occupied leaf with code {leaf_code}")
+        bounds = self.octree.leaf_slot_bounds()
+        return int(bounds[position]), int(bounds[position + 1])
 
     # ------------------------------------------------------------------
     def read_slots(self, slots: Sequence[int] | np.ndarray) -> np.ndarray:

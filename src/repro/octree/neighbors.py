@@ -1,22 +1,113 @@
-"""Same-level voxel neighbor search.
+"""Same-level voxel neighbor search, batched.
 
 The VEG method (Section VI) expands outward from a central voxel: first the
 voxels touching it (the 26-neighbourhood at Chebyshev radius 1), then the
 next shell, and so on.  The paper cites Frisken & Perry's simple traversal
 method for quadtrees/octrees; on a complete grid at a fixed depth the
-neighbour of a voxel is obtained directly from its integer grid coordinates,
-which is what these helpers do.  They operate on m-codes so both the
+neighbour of a voxel is obtained directly from its integer grid coordinates.
+
+The helpers operate on m-codes so both the
 :class:`~repro.octree.linear.OctreeTable` and the
-:class:`~repro.geometry.voxelgrid.VoxelGrid` can use them.
+:class:`~repro.geometry.voxelgrid.VoxelGrid` can use them, and they come in
+two flavours: ``*_batch`` functions that expand whole code arrays in one
+stencil encode (the hot path -- one ``(M, S)`` kernel call instead of ``M``
+Python triple loops), and the scalar single-code wrappers, which delegate to
+the batched kernels and keep the original list-of-int signatures.  Both are
+bit-identical to the frozen loops in :mod:`repro.kernels.reference`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.geometry.morton import morton_decode, morton_encode
+from repro.kernels import (
+    chebyshev_codes,
+    cube_offsets,
+    isin_sorted,
+    shell_codes_batch,
+    stencil_codes,
+)
+from repro.kernels.morton import decode_cells
 
 
+def _ragged_sorted(
+    codes: np.ndarray, valid: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row ascending codes of the valid stencil entries.
+
+    Returns ``(flat_codes, row_splits)``: row ``i`` of the batch holds
+    ``flat_codes[row_splits[i] : row_splits[i + 1]]``, sorted ascending (SFC
+    order).  Invalid entries are pushed past every real code with an int64
+    sentinel, then dropped.
+    """
+    counts = valid.sum(axis=1)
+    row_splits = np.zeros(codes.shape[0] + 1, dtype=np.intp)
+    np.cumsum(counts, out=row_splits[1:])
+    masked = np.where(valid, codes, np.iinfo(np.int64).max)
+    ordered = np.sort(masked, axis=1)
+    keep = np.arange(codes.shape[1], dtype=np.intp)[None, :] < counts[:, None]
+    return ordered[keep], row_splits
+
+
+def neighbor_codes_batch(
+    codes: np.ndarray,
+    depth: int,
+    radius: int = 1,
+    include_diagonal: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Chebyshev-shell neighbors of a whole code array at once.
+
+    Array-wide variant of :func:`neighbor_codes_at_radius`: one stencil
+    encode over ``(M, S)`` cells.  Returns ``(flat_codes, row_splits)``
+    where centre ``i``'s neighbors are
+    ``flat_codes[row_splits[i] : row_splits[i + 1]]``, sorted ascending and
+    with out-of-grid voxels dropped -- per row, exactly the list the scalar
+    helper returns.
+    """
+    if radius < 0:
+        raise ValueError("radius must be >= 0")
+    codes = np.asarray(codes, dtype=np.int64)
+    shell, in_bounds = shell_codes_batch(
+        codes, depth, radius, include_diagonal=include_diagonal
+    )
+    return _ragged_sorted(shell, in_bounds)
+
+
+def codes_within_radius_batch(
+    codes: np.ndarray, depth: int, radius: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All voxel codes with Chebyshev distance <= ``radius``, batched.
+
+    Same ``(flat_codes, row_splits)`` contract as
+    :func:`neighbor_codes_batch`; each row is ascending (distinct offsets
+    map to distinct voxels, so no dedup is needed).
+    """
+    if radius < 0:
+        raise ValueError("radius must be >= 0")
+    codes = np.asarray(codes, dtype=np.int64)
+    cells = decode_cells(codes, depth)
+    cube, in_bounds = stencil_codes(cells, cube_offsets(radius), depth)
+    return _ragged_sorted(cube, in_bounds)
+
+
+def filter_occupied_batch(
+    codes: np.ndarray, occupied_sorted: np.ndarray
+) -> np.ndarray:
+    """Keep the codes present in an ascending-sorted occupied array.
+
+    ``searchsorted`` membership (one binary search per query) replacing the
+    per-call Python ``set`` of the scalar path; order preserving.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    return codes[isin_sorted(occupied_sorted, codes)]
+
+
+# ----------------------------------------------------------------------
+# Scalar single-code API (delegates to the batched kernels)
+# ----------------------------------------------------------------------
 def neighbor_codes(
     code: int, depth: int, include_diagonal: bool = True
 ) -> List[int]:
@@ -42,30 +133,13 @@ def neighbor_codes_at_radius(
     ``radius = 0`` returns ``[code]``.  The result is sorted (SFC order) and
     excludes voxels that would fall outside the grid.
     """
-    if radius < 0:
-        raise ValueError("radius must be >= 0")
-    if radius == 0:
-        return [code]
-    cx, cy, cz = morton_decode(code, depth)
-    resolution = 1 << depth
-    result: List[int] = []
-    for dx in range(-radius, radius + 1):
-        for dy in range(-radius, radius + 1):
-            for dz in range(-radius, radius + 1):
-                cheb = max(abs(dx), abs(dy), abs(dz))
-                if cheb != radius:
-                    continue
-                if not include_diagonal and abs(dx) + abs(dy) + abs(dz) != radius:
-                    continue
-                ix, iy, iz = cx + dx, cy + dy, cz + dz
-                if not (
-                    0 <= ix < resolution
-                    and 0 <= iy < resolution
-                    and 0 <= iz < resolution
-                ):
-                    continue
-                result.append(morton_encode(ix, iy, iz, depth))
-    return sorted(result)
+    flat, _ = neighbor_codes_batch(
+        np.asarray([code], dtype=np.int64),
+        depth,
+        radius=radius,
+        include_diagonal=include_diagonal,
+    )
+    return [int(c) for c in flat]
 
 
 def face_neighbor(code: int, depth: int, axis: int, direction: int) -> Optional[int]:
@@ -87,22 +161,29 @@ def face_neighbor(code: int, depth: int, axis: int, direction: int) -> Optional[
 
 def chebyshev_distance(code_a: int, code_b: int, depth: int) -> int:
     """Chebyshev (shell) distance between two voxels at the same depth."""
-    ax, ay, az = morton_decode(code_a, depth)
-    bx, by, bz = morton_decode(code_b, depth)
-    return max(abs(ax - bx), abs(ay - by), abs(az - bz))
+    return int(
+        chebyshev_codes(
+            np.asarray([code_a], dtype=np.int64),
+            np.asarray([code_b], dtype=np.int64),
+            depth,
+        )[0]
+    )
 
 
 def codes_within_radius(
     code: int, depth: int, radius: int
 ) -> List[int]:
     """All voxel codes with Chebyshev distance <= ``radius`` from ``code``."""
-    result: List[int] = []
-    for shell in range(radius + 1):
-        result.extend(neighbor_codes_at_radius(code, depth, shell))
-    return sorted(set(result))
+    flat, _ = codes_within_radius_batch(
+        np.asarray([code], dtype=np.int64), depth, radius
+    )
+    return [int(c) for c in flat]
 
 
 def filter_occupied(codes: Sequence[int], occupied: Sequence[int]) -> List[int]:
     """Keep only the codes present in ``occupied`` (order preserving)."""
-    occupied_set = set(int(c) for c in occupied)
-    return [int(c) for c in codes if int(c) in occupied_set]
+    codes_arr = np.asarray(list(codes), dtype=np.int64)
+    if codes_arr.shape[0] == 0:
+        return []
+    occupied_sorted = np.sort(np.asarray(list(occupied), dtype=np.int64))
+    return [int(c) for c in filter_occupied_batch(codes_arr, occupied_sorted)]

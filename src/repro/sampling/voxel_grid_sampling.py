@@ -14,6 +14,7 @@ import numpy as np
 from repro.core.metrics import OpCounters
 from repro.geometry.pointcloud import PointCloud
 from repro.geometry.voxelgrid import VoxelGrid, suggest_depth
+from repro.kernels import gather_ragged
 from repro.sampling.base import Sampler, SamplingResult
 
 
@@ -49,36 +50,30 @@ class VoxelGridSampler(Sampler):
             node_visits=grid.num_occupied_voxels,
         )
 
-        selected: list[int] = []
-        codes = grid.occupied_codes()
         # Stride evenly along the SFC order: because the space-filling curve
         # preserves locality, an even stride over the occupied voxels spreads
         # the kept points over the whole cloud rather than clustering them at
-        # the low-code corner.
-        take = min(num_samples, len(codes))
-        positions = np.linspace(0, len(codes) - 1, take).round().astype(int)
-        for code in codes[np.unique(positions)]:
-            if len(selected) >= num_samples:
-                break
-            bucket = grid.points_in_voxel(int(code))
-            selected.append(int(bucket[0]))
-        if len(selected) < num_samples:
-            # Fill the remainder from the most populated voxels.
-            histogram = sorted(
-                grid.occupancy_histogram().items(),
-                key=lambda item: item[1],
-                reverse=True,
+        # the low-code corner.  The representative of every visited voxel is
+        # its first bucket entry -- one gather over the grid's flat bucket
+        # arrays instead of a ``points_in_voxel`` call per voxel (the scalar
+        # loop is retained as ``kernels.reference.voxelgrid_sample_scalar``).
+        take = min(num_samples, grid.num_occupied_voxels)
+        positions = np.unique(
+            np.linspace(0, grid.num_occupied_voxels - 1, take).round().astype(int)
+        )
+        selected = grid.order[grid.starts[positions]]
+        if selected.shape[0] < num_samples:
+            # Fill the remainder from the most populated voxels: a stable
+            # descending-count sort reproduces the dict-histogram scan order,
+            # and one ragged gather concatenates the candidate buckets.
+            by_count = np.argsort(-grid.counts, kind="stable")
+            candidates, _ = gather_ragged(
+                grid.order, grid.starts[by_count], grid.counts[by_count]
             )
-            taken = set(selected)
-            for code, _count in histogram:
-                for idx in grid.points_in_voxel(code):
-                    if len(selected) >= num_samples:
-                        break
-                    if int(idx) not in taken:
-                        selected.append(int(idx))
-                        taken.add(int(idx))
-                if len(selected) >= num_samples:
-                    break
+            fresh = candidates[~np.isin(candidates, selected)]
+            selected = np.concatenate(
+                [selected, fresh[: num_samples - selected.shape[0]]]
+            )
 
         indices = np.asarray(selected[:num_samples], dtype=np.intp)
         return self._result(
