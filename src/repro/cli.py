@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of frames to run through one warm session (default 1)",
     )
     e2e.add_argument(
+        "--batch-size", type=int, default=0,
+        help="serve frames through the batch-native path in chunks of this "
+             "many frames (0 = one batch containing every frame)",
+    )
+    e2e.add_argument(
         "--sampler",
         choices=registry.available("sampler"),
         default="ois",
@@ -118,6 +123,7 @@ def _run_e2e(
     num_frames: int = 1,
     sampler: str = "ois",
     accelerator: str = "hgpcn",
+    batch_size: int = 0,
 ) -> int:
     task = _DATASET_TASKS[dataset]
     source = registry.create(
@@ -134,10 +140,19 @@ def _run_e2e(
     session = Session(
         config=config, task=task, sampler=sampler, accelerator=accelerator
     )
-    batch = session.run_batch(
-        [FrameRequest.from_frame(source.generate_frame(i)) for i in range(max(1, num_frames))]
-    )
-    response = batch.responses[0]
+    frames = [
+        FrameRequest.from_frame(source.generate_frame(i))
+        for i in range(max(1, num_frames))
+    ]
+    # The serving mode: every chunk travels the batch-native dispatch
+    # (FrameBatch stacks through both engines and the stacked forward).
+    chunk = batch_size if batch_size > 0 else len(frames)
+    batches = [
+        session.run_batch(frames[start : start + chunk])
+        for start in range(0, len(frames), chunk)
+    ]
+    responses = [response for batch in batches for response in batch]
+    response = responses[0]
     result = response.result
 
     spec = source.spec
@@ -149,12 +164,21 @@ def _run_e2e(
     rows = [[phase, seconds * 1e3] for phase, seconds in result.breakdown.as_dict().items()]
     rows.append(["total", result.total_seconds() * 1e3])
     print(format_table(["phase", "modelled latency [ms]"], rows))
-    if len(batch) > 1:
+    if len(responses) > 1:
         stats = session.stats()
+        served_warm = sum(1 for r in responses if r.warm or r.cached)
+        group_sizes = sorted(
+            (size for batch in batches for size in batch.groups.values()),
+            reverse=True,
+        )
         print(
-            f"\nsession: {stats['frames_processed']} frames, "
-            f"{stats['model_builds']} model build(s), "
-            f"{100 * batch.warm_fraction():.0f}% served warm"
+            f"\nsession: {stats['frames_processed']} frames in "
+            f"{len(batches)} batch(es), {stats['model_builds']} model "
+            f"build(s), {100 * served_warm / len(responses):.0f}% served warm"
+        )
+        print(
+            "batched dispatch: group sizes "
+            + ", ".join(str(size) for size in group_sizes)
         )
     return 0
 
@@ -206,6 +230,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             num_frames=args.frames,
             sampler=args.sampler,
             accelerator=args.accelerator,
+            batch_size=args.batch_size,
         )
     if args.command == "samplers":
         return _run_samplers(args.points, args.samples, args.seed)

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import HgPCNConfig
+from repro.core.framebatch import FrameBatch
 from repro.core.metrics import LatencyBreakdown, OpCounters
 from repro.accelerators.hgpcn import HgPCNInferenceAccelerator
 from repro.accelerators.base import (
@@ -131,9 +132,34 @@ class PreprocessingEngine:
         """Pre-process one raw frame: octree build + down-sampling."""
         pre = self.config.preprocessing
         depth = pre.octree_depth or suggest_depth(cloud.num_points)
-        num_samples = min(pre.num_samples, cloud.num_points)
-
         octree = Octree.build(cloud, depth=depth)
+        return self._finish_frame(cloud, octree, depth)
+
+    def process_batch(self, batch: "FrameBatch") -> List[PreprocessingResult]:
+        """Pre-process a same-shaped frame batch.
+
+        The octree depth and sampler are resolved once for the whole batch
+        (every member down-samples to the same shape), and the per-frame
+        octrees come out of one :meth:`Octree.build_batch` kernel sequence
+        -- one stacked m-code encode and one stacked sort for all frames.
+        Sampling and the latency/on-chip accounting stay per frame, and
+        every returned :class:`PreprocessingResult` is bit-identical to
+        :meth:`process` on that frame alone.
+        """
+        pre = self.config.preprocessing
+        depth = pre.octree_depth or suggest_depth(batch.num_points)
+        octrees = Octree.build_batch(batch.clouds, depth=depth)
+        return [
+            self._finish_frame(cloud, octree, depth)
+            for cloud, octree in zip(batch.clouds, octrees)
+        ]
+
+    def _finish_frame(
+        self, cloud: PointCloud, octree: Octree, depth: int
+    ) -> PreprocessingResult:
+        """Shared per-frame tail: table, down-sampling, cost accounting."""
+        num_samples = min(self.config.preprocessing.num_samples, cloud.num_points)
+
         # Flat-path table construction: pure array work over the per-level
         # code arrays, so the pointer tree stays unmaterialised end-to-end.
         table = OctreeTable.from_flat(octree)
@@ -277,11 +303,43 @@ class InferenceEngine:
 
     def process(self, sampled: PointCloud) -> InferenceExecution:
         """Run the PCN on one down-sampled input cloud."""
-        inf = self.config.inference
         state = self.warm_state(sampled.num_points, sampled.num_feature_channels)
         warm = state.uses > 0
         state.uses += 1
         forward = state.model.forward(sampled)
+        return self._finish_execution(sampled, forward, warm)
+
+    def process_batch(self, batch: FrameBatch) -> List[InferenceExecution]:
+        """Run the PCN on a batch of same-shaped down-sampled inputs.
+
+        One warm model serves the whole batch (built at most once), and the
+        forward pass runs batch-native via the model's ``forward_batch`` --
+        every shared-MLP / FP / head layer sees one stacked operand for all
+        frames -- while traces, workload extraction, and accelerator pricing
+        stay per frame.  Each returned :class:`InferenceExecution` is
+        bit-identical to :meth:`process` on that frame alone, including the
+        ``warm`` flag sequence (the first frame of a cold shape reports
+        ``warm=False``, every later one ``warm=True``).
+        """
+        state = self.warm_state(batch.num_points, batch.num_feature_channels)
+        warms = []
+        for _ in range(len(batch)):
+            warms.append(state.uses > 0)
+            state.uses += 1
+        if hasattr(state.model, "forward_batch"):
+            forwards = state.model.forward_batch(batch)
+        else:
+            forwards = [state.model.forward(cloud) for cloud in batch.clouds]
+        return [
+            self._finish_execution(cloud, forward, warm)
+            for cloud, forward, warm in zip(batch.clouds, forwards, warms)
+        ]
+
+    def _finish_execution(
+        self, sampled: PointCloud, forward: ForwardResult, warm: bool
+    ) -> InferenceExecution:
+        """Shared per-frame tail: workload extraction + accelerator pricing."""
+        inf = self.config.inference
         workload = extract_workload(forward)
 
         # Collect the measured VEG statistics per SA layer for the DSU model.

@@ -1,4 +1,4 @@
-"""k-d-tree neighbor gathering baseline, array-backed.
+"""k-d-tree neighbor gathering baseline, batched frontier traversal.
 
 QuickNN and similar accelerators (Section II-B, "second type") organise the
 input cloud in a k-d tree and prune the search.  The exact-search variant
@@ -8,19 +8,42 @@ brute-force baseline and VEG when studying where the workload reduction comes
 from.  The tree is built from scratch (no scipy dependency) so node visits
 and distance computations can be counted faithfully.
 
-The tree is stored as parallel node arrays (axis/split/children/leaf
-ranges) over one permutation buffer instead of per-node Python objects: the
-build is an iterative stack over index-array segments partitioned with
-NumPy masks, and each query processes whole leaves with one squared-distance
-block (the :func:`repro.kernels.distance.pairwise_sq_dists` operation order,
-inlined for the single-query shape) plus a stable-sort top-k merge.  Both are bit-identical -- rows *and* counters -- to the frozen
-recursive/heap implementation in
-:func:`repro.kernels.reference.kdtree_gather_scalar`, except that exact
+The tree is stored as parallel node arrays (axis/split/children/leaf ranges)
+over one permutation buffer; the build is an iterative stack over
+index-array segments partitioned with NumPy masks.  Queries are **batched**:
+instead of walking the tree once per centroid, all centroids traverse it
+together as index arrays --
+
+1. a *descent phase* moves the whole centroid frontier from the root to its
+   home leaves level by level, recording the far sibling of every split
+   crossed, then seeds each centroid's candidate set from its home leaf
+   (one ragged distance block for all frontier leaves);
+2. a *backtrack phase* processes the recorded far-subtree visits
+   level-synchronously: each round prunes the pending pairs against the
+   current k-th-neighbor bounds (the same splitting-plane rule as the
+   per-centroid walk), merges all leaf pairs' distance blocks into the
+   per-centroid top-k candidates with one ``lexsort``
+   (:func:`repro.kernels.topk_per_segment`), and descends the surviving
+   internal pairs one level, emitting near children unconditionally and far
+   children with their plane distances.
+
+The returned neighbor rows are bit-identical to the frozen per-centroid
+walk (:func:`repro.kernels.reference.kdtree_gather_per_centroid`, which is
+itself row- and counter-identical to the recursive/heap reference
+:func:`repro.kernels.reference.kdtree_gather_scalar`), except that exact
 distance ties straddling the k-th boundary may resolve to a different (but
-equidistant) neighbor index: the reference heap evicts the smallest index
-among tied maxima while the merge keeps earliest arrivals.  Counters and
-the per-row distance multisets agree even then (same note as the FPS
-sqrt-tie caveat in :func:`repro.kernels.reference.fps_scalar`).
+equidistant) neighbor index.  Tie survival depends on leaf *arrival order*
+in both paths -- once a centroid's candidate set is full, the strict
+``dist < kth`` admission gate rejects later-arriving equidistant points (a
+within-merge tie additionally resolves to the smaller index) -- and the
+batched traversal visits leaves in a different order than the depth-first
+walk, so the kept equidistant indices can differ.  Per-row distance
+multisets agree even then (same note as the FPS sqrt-tie caveat in
+:func:`repro.kernels.reference.fps_scalar`).  Operation *counters*
+are reported with the same semantics (node visits, plane-prune compares,
+per-point distance reads) but their values legitimately differ from the
+per-centroid walk: the level-synchronous traversal makes its pruning
+decisions with slightly staler k-th bounds, so it visits a few more nodes.
 """
 
 from __future__ import annotations
@@ -33,6 +56,7 @@ import numpy as np
 from repro.core.metrics import OpCounters
 from repro.datastructuring.base import Gatherer, GatherResult
 from repro.geometry.pointcloud import PointCloud
+from repro.kernels import gather_ragged, partition_by_mask, topk_per_segment
 
 
 @dataclass
@@ -42,18 +66,16 @@ class _KDArrays:
     Node ``n`` is a leaf iff ``axes[n] < 0``; leaves own the permutation
     slice ``perm[starts[n] : starts[n] + counts[n]]``.  Internal nodes
     split on ``axes[n]`` at ``splits[n]`` with children ``lefts[n]`` /
-    ``rights[n]``.  The per-node metadata is kept as plain Python lists:
-    the traversal inner loop reads one scalar per node, where list indexing
-    beats NumPy scalar indexing severalfold; the bulk data (``perm``, and
-    the points it indexes) stays in arrays.
+    ``rights[n]``.  All node metadata is kept as NumPy arrays so the
+    batched traversal can index whole frontiers at once.
     """
 
-    axes: List[int]
-    splits: List[float]
-    lefts: List[int]
-    rights: List[int]
-    starts: List[int]
-    counts: List[int]
+    axes: np.ndarray
+    splits: np.ndarray
+    lefts: np.ndarray
+    rights: np.ndarray
+    starts: np.ndarray
+    counts: np.ndarray
     perm: np.ndarray
 
 
@@ -124,24 +146,20 @@ def _build_arrays(points: np.ndarray, leaf_size: int) -> _KDArrays:
         stack.append((start, middle, depth + 1, lefts[node]))
 
     return _KDArrays(
-        axes=axes,
-        splits=splits,
-        lefts=lefts,
-        rights=rights,
-        starts=starts,
-        counts=counts,
+        axes=np.asarray(axes, dtype=np.int64),
+        splits=np.asarray(splits, dtype=np.float64),
+        lefts=np.asarray(lefts, dtype=np.intp),
+        rights=np.asarray(rights, dtype=np.intp),
+        starts=np.asarray(starts, dtype=np.intp),
+        counts=np.asarray(counts, dtype=np.intp),
         perm=perm,
     )
 
 
 class KDTreeGatherer(Gatherer):
-    """Exact KNN via a from-scratch, array-backed k-d tree."""
+    """Exact KNN via a from-scratch k-d tree with a batched frontier query."""
 
     name = "kdtree"
-
-    #: Stack tags of the iterative depth-first query.
-    _VISIT = 0
-    _FAR_CHECK = 1
 
     def __init__(self, leaf_size: int = 16):
         if leaf_size < 1:
@@ -149,102 +167,203 @@ class KDTreeGatherer(Gatherer):
         self._leaf_size = leaf_size
 
     # ------------------------------------------------------------------
-    def _query(
+    def _merge_leaves(
         self,
         tree: _KDArrays,
         points: np.ndarray,
-        target: np.ndarray,
+        targets: np.ndarray,
+        pair_targets: np.ndarray,
+        pair_nodes: np.ndarray,
+        neighbors: int,
+        cand_dists: np.ndarray,
+        cand_index: np.ndarray,
+        cand_counts: np.ndarray,
+        kth: np.ndarray,
+        counters: OpCounters,
+    ) -> None:
+        """Merge the leaf blocks of ``(target, leaf)`` pairs into the top-k.
+
+        One ragged gather produces every pair's point rows, one distance
+        block scores them, and one per-segment top-k merge
+        (:func:`repro.kernels.topk_per_segment`) updates all affected
+        centroids' candidate sets and k-th bounds at once.
+        """
+        if pair_targets.shape[0] == 0:
+            return
+        rows, segments = gather_ragged(
+            tree.perm, tree.starts[pair_nodes], tree.counts[pair_nodes]
+        )
+        point_targets = pair_targets[segments]
+        diff = points[rows] - targets[point_targets]
+        dists = (diff**2).sum(axis=-1)
+        counters.distance_computations += rows.shape[0]
+        counters.host_memory_reads += rows.shape[0]
+
+        # Candidate admission: a point can only enter a full candidate set
+        # by beating its current k-th distance (strict ``<`` replacement,
+        # as in the per-centroid walk); each test against a full set is one
+        # comparison.
+        full = cand_counts[point_targets] >= neighbors
+        counters.compare_ops += int(np.count_nonzero(full))
+        admit = ~full | (dists < kth[point_targets])
+        if not np.any(admit):
+            return
+        new_targets = point_targets[admit]
+        new_dists = dists[admit]
+        new_rows = rows[admit]
+
+        affected = np.unique(new_targets)
+        dense = np.searchsorted(affected, new_targets)
+
+        # Flatten the affected centroids' current candidates and re-rank
+        # them together with the new entries.
+        columns = np.arange(neighbors, dtype=np.intp)
+        held = columns[None, :] < cand_counts[affected, None]
+        held_segments = np.repeat(
+            np.arange(affected.shape[0], dtype=np.intp),
+            cand_counts[affected],
+        )
+        all_segments = np.concatenate([held_segments, dense])
+        all_dists = np.concatenate([cand_dists[affected][held], new_dists])
+        all_index = np.concatenate([cand_index[affected][held], new_rows])
+        top_d, top_i, top_c = topk_per_segment(
+            all_segments, all_dists, all_index, neighbors, affected.shape[0]
+        )
+        cand_dists[affected] = top_d
+        cand_index[affected] = top_i
+        cand_counts[affected] = top_c
+        kth[affected] = np.where(
+            top_c >= neighbors, top_d[:, neighbors - 1], np.inf
+        )
+
+    # ------------------------------------------------------------------
+    def _query_batch(
+        self,
+        tree: _KDArrays,
+        points: np.ndarray,
+        targets: np.ndarray,
         neighbors: int,
         counters: OpCounters,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Pruned depth-first search; returns the candidate (dists, indices).
+    ) -> np.ndarray:
+        """Frontier-per-level exact KNN for all targets at once."""
+        num_targets = targets.shape[0]
+        cand_dists = np.full((num_targets, neighbors), np.inf)
+        cand_index = np.full((num_targets, neighbors), -1, dtype=np.intp)
+        cand_counts = np.zeros(num_targets, dtype=np.intp)
+        kth = np.full(num_targets, np.inf)
 
-        Candidates are kept in arrival order and merged with each leaf block
-        by a stable sort on distance, so the kept set matches the reference
-        heap whenever the k-th boundary distance is unique (see the tie
-        caveat in the module docstring).
+        # Phase 1: descend every target to its home leaf, recording the far
+        # sibling (and its splitting-plane distance) at each crossed split.
+        frontier = np.arange(num_targets, dtype=np.intp)
+        nodes = np.zeros(num_targets, dtype=np.intp)
+        pending_targets: List[np.ndarray] = []
+        pending_nodes: List[np.ndarray] = []
+        pending_diffs: List[np.ndarray] = []
+        while frontier.size:
+            frontier_nodes = nodes[frontier]
+            axis = tree.axes[frontier_nodes]
+            internal = axis >= 0
+            counters.node_visits += frontier.size
+            (frontier, frontier_nodes, axis), _ = partition_by_mask(
+                internal, frontier, frontier_nodes, axis
+            )
+            if not frontier.size:
+                break
+            diff = targets[frontier, axis] - tree.splits[frontier_nodes]
+            go_left = diff <= 0
+            near = np.where(
+                go_left, tree.lefts[frontier_nodes], tree.rights[frontier_nodes]
+            )
+            far = np.where(
+                go_left, tree.rights[frontier_nodes], tree.lefts[frontier_nodes]
+            )
+            pending_targets.append(frontier)
+            pending_nodes.append(far)
+            pending_diffs.append(diff)
+            nodes[frontier] = near
 
-        The traversal bookkeeping runs on plain Python lists/floats (node
-        metadata is small; NumPy scalar indexing would dominate the walk)
-        while each leaf is processed as one array block.
-        """
-        axes, splits = tree.axes, tree.splits
-        lefts, rights = tree.lefts, tree.rights
-        starts, counts = tree.starts, tree.counts
-        target_xyz = target.tolist()
+        # Seed the candidate sets from the home leaves (already counted as
+        # visits above).
+        self._merge_leaves(
+            tree, points, targets,
+            np.arange(num_targets, dtype=np.intp), nodes,
+            neighbors, cand_dists, cand_index, cand_counts, kth, counters,
+        )
 
-        cand_dists = np.empty(0, dtype=np.float64)
-        cand_index = np.empty(0, dtype=np.intp)
-        cand_size = 0
-        kth = np.inf
-        node_visits = 0
-        compare_ops = 0
-        point_reads = 0
+        # Phase 2: process the recorded far-subtree visits level by level.
+        # ``unconditional`` marks near children (visited regardless, as in
+        # the per-centroid walk); far pairs are plane-prune checked against
+        # the current bounds first.
+        if pending_targets:
+            work_targets = np.concatenate(pending_targets)
+            work_nodes = np.concatenate(pending_nodes)
+            work_diffs = np.concatenate(pending_diffs)
+        else:
+            work_targets = np.zeros(0, dtype=np.intp)
+            work_nodes = np.zeros(0, dtype=np.intp)
+            work_diffs = np.zeros(0)
+        unconditional = np.zeros(work_targets.shape[0], dtype=bool)
 
-        # Stack entries: (_VISIT, node, 0.0) runs a subtree; (_FAR_CHECK,
-        # node, plane_dist) replays the reference's post-recursion pruning
-        # decision for the far child after the near subtree completed.
-        stack: List[Tuple[int, int, float]] = [(self._VISIT, 0, 0.0)]
-        while stack:
-            tag, node, diff = stack.pop()
-            if tag == self._FAR_CHECK:
-                # Prune the far side unless the splitting plane is closer
-                # than the current k-th neighbor.
-                compare_ops += 1
-                if cand_size < neighbors or diff * diff < kth:
-                    stack.append((self._VISIT, node, 0.0))
-                continue
+        while work_targets.size:
+            # Prune the far side unless the splitting plane is closer than
+            # the current k-th neighbor (one comparison per check).
+            checked = ~unconditional
+            counters.compare_ops += int(np.count_nonzero(checked))
+            keep = unconditional | (
+                (cand_counts[work_targets] < neighbors)
+                | (work_diffs * work_diffs < kth[work_targets])
+            )
+            work_targets = work_targets[keep]
+            work_nodes = work_nodes[keep]
+            if not work_targets.size:
+                break
+            counters.node_visits += work_targets.size
 
-            node_visits += 1
-            axis = axes[node]
-            if axis < 0:
-                start = starts[node]
-                count = counts[node]
-                leaf_points = tree.perm[start : start + count]
-                # One block of squared distances per leaf; same elementwise
-                # operation order as ``kernels.pairwise_sq_dists`` (and the
-                # reference's per-point sum), inlined to skip the broadcast
-                # machinery of the (1, C) query shape.
-                diff = points[leaf_points] - target
-                dists = (diff**2).sum(axis=-1)
-                point_reads += count
-                # The reference pushes while the heap has free slots (no
-                # comparison charged) and compares once per point after it
-                # fills.
-                free = neighbors - cand_size
-                if free < count:
-                    compare_ops += count - max(0, free)
+            is_leaf = tree.axes[work_nodes] < 0
+            (leaf_targets, leaf_nodes), (internal_targets, internal_nodes) = (
+                partition_by_mask(is_leaf, work_targets, work_nodes)
+            )
+            internal_axis = tree.axes[internal_nodes]
+            self._merge_leaves(
+                tree, points, targets, leaf_targets, leaf_nodes, neighbors,
+                cand_dists, cand_index, cand_counts, kth, counters,
+            )
 
-                if free <= 0 and float(dists.min()) >= kth:
-                    # The reference rejects every point with dist >= kth
-                    # (strict ``<`` replacement), so a leaf whose nearest
-                    # point does not beat the k-th candidate changes nothing.
-                    continue
-                cand_dists = np.concatenate([cand_dists, dists])
-                cand_index = np.concatenate([cand_index, leaf_points])
-                if cand_index.shape[0] > neighbors:
-                    keep = np.argsort(cand_dists, kind="stable")[:neighbors]
-                    keep.sort()  # preserve arrival order among the kept
-                    cand_dists = cand_dists[keep]
-                    cand_index = cand_index[keep]
-                cand_size = cand_index.shape[0]
-                if cand_size >= neighbors:
-                    kth = float(cand_dists.max())
-                continue
-
-            plane_dist = target_xyz[axis] - splits[node]
-            if plane_dist <= 0:
-                near, far = lefts[node], rights[node]
+            if internal_targets.size:
+                diff = (
+                    targets[internal_targets, internal_axis]
+                    - tree.splits[internal_nodes]
+                )
+                go_left = diff <= 0
+                near = np.where(
+                    go_left,
+                    tree.lefts[internal_nodes],
+                    tree.rights[internal_nodes],
+                )
+                far = np.where(
+                    go_left,
+                    tree.rights[internal_nodes],
+                    tree.lefts[internal_nodes],
+                )
+                work_targets = np.concatenate([internal_targets, internal_targets])
+                work_nodes = np.concatenate([near, far])
+                work_diffs = np.concatenate([np.zeros(diff.shape[0]), diff])
+                unconditional = np.concatenate(
+                    [
+                        np.ones(diff.shape[0], dtype=bool),
+                        np.zeros(diff.shape[0], dtype=bool),
+                    ]
+                )
             else:
-                near, far = rights[node], lefts[node]
-            stack.append((self._FAR_CHECK, far, plane_dist))
-            stack.append((self._VISIT, near, 0.0))
+                work_targets = np.zeros(0, dtype=np.intp)
+                work_nodes = np.zeros(0, dtype=np.intp)
+                work_diffs = np.zeros(0)
+                unconditional = np.zeros(0, dtype=bool)
 
-        counters.node_visits += node_visits
-        counters.compare_ops += compare_ops
-        counters.distance_computations += point_reads
-        counters.host_memory_reads += point_reads
-        return cand_dists, cand_index
+        # Rows come out of the merge already ordered by (distance, index),
+        # which is exactly the per-centroid walk's final
+        # ``lexsort((index, dists))`` ordering.
+        return cand_index
 
     # ------------------------------------------------------------------
     def gather(
@@ -261,15 +380,12 @@ class KDTreeGatherer(Gatherer):
         tree = _build_arrays(points, self._leaf_size)
         # Tree construction: one streaming pass over the points per level is
         # the usual accounting; charge a single read per point here since the
-        # build is offline relative to the per-centroid queries.
+        # build is offline relative to the batched queries.
         counters.host_memory_reads += cloud.num_points
 
-        rows = np.empty((centroid_indices.shape[0], neighbors), dtype=np.intp)
-        for i, centroid in enumerate(centroid_indices):
-            dists, index = self._query(
-                tree, points, points[centroid], neighbors, counters
-            )
-            rows[i] = index[np.lexsort((index, dists))]
+        rows = self._query_batch(
+            tree, points, points[centroid_indices], neighbors, counters
+        )
         return GatherResult(
             neighbor_indices=rows,
             centroid_indices=centroid_indices,

@@ -12,6 +12,10 @@ the two sides against each other and records the speedups in
 
 Modules
 -------
+``batching``
+    Batch-native plumbing: frame stacking/offsets for the ``(B, N, ...)``
+    execution path, the per-segment top-k merge of the batched k-d tree
+    query, and frontier partitions.
 ``chunking``
     The shared memory-budget-derived chunk-size helper used by every kernel
     that materialises an ``(M, N)`` pairwise block.
@@ -33,6 +37,13 @@ Modules
     it depends on the higher-level geometry/octree modules).
 """
 
+from repro.kernels.batching import (
+    frame_offsets,
+    partition_by_mask,
+    ragged_offsets,
+    stack_frames,
+    topk_per_segment,
+)
 from repro.kernels.chunking import (
     DEFAULT_CHUNK_BUDGET_BYTES,
     distance_chunk_rows,
@@ -68,6 +79,11 @@ from repro.kernels.stencil import (
 )
 
 __all__ = [
+    "frame_offsets",
+    "partition_by_mask",
+    "ragged_offsets",
+    "stack_frames",
+    "topk_per_segment",
     "DEFAULT_CHUNK_BUDGET_BYTES",
     "distance_chunk_rows",
     "rows_per_chunk",

@@ -18,14 +18,95 @@ on their hardware cost models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datastructuring.base import Gatherer, GatherResult, pick_random_centroids
 from repro.datastructuring.knn import BruteForceKNN
 from repro.geometry.pointcloud import PointCloud
+from repro.kernels import frame_offsets, stack_frames
 from repro.network.layers import Dense, ReLU, SharedMLP, max_pool_groups, softmax
+
+
+#: Cache of the stacking calibration (see :func:`_stack_rows_safe`).
+#: Keyed by ``(in_features, out_features, rows_per_frame, num_frames)``.
+_STACK_SAFE: dict = {}
+
+
+def _stack_rows_safe(
+    in_features: int, out_features: int, rows_per_frame: int, num_frames: int
+) -> bool:
+    """Whether ``x @ W`` row results are invariant to stacking more rows.
+
+    Mathematically every output row of a matmul is an independent dot
+    product, but BLAS implementations select different micro-kernels by
+    operand shape (e.g. a small-matrix path below a row-count threshold, or
+    different edge handling for odd output widths), and the kernels may sum
+    the reduction axis in different orders.  When that happens, the rows of
+    a stacked ``(B * M, k)`` matmul are *not* bit-identical to B separate
+    ``(M, k)`` matmuls.
+
+    This probe calibrates the question against the BLAS that is actually
+    linked, at the *exact* operand shapes of the dispatch: a random
+    ``(rows_per_frame, in_features)`` operand is compared against itself
+    tiled ``num_frames`` times, so any kernel-selection threshold the real
+    shapes straddle is the one being tested (a fixed probe shape could
+    certify a regime the real operands never run in).  The verdict is
+    cached per shape tuple, so the one-time cost -- about one extra layer
+    application -- is only paid the first time a dispatch shape is seen.
+    Layers that fail the probe are dispatched per frame by
+    :func:`_apply_shared` so the batched forward stays bit-identical to
+    the sequential one.
+    """
+    key = (in_features, out_features, rows_per_frame, num_frames)
+    cached = _STACK_SAFE.get(key)
+    if cached is None:
+        rng = np.random.default_rng(1_000_003 * in_features + out_features)
+        x = rng.standard_normal((rows_per_frame, in_features))
+        weight = rng.standard_normal((in_features, out_features))
+        small = x @ weight
+        tiled = np.tile(x, (num_frames, 1)) @ weight
+        cached = bool(np.array_equal(tiled, np.tile(small, (num_frames, 1))))
+        _STACK_SAFE[key] = cached
+    return cached
+
+
+def _dense_shapes(layer) -> List[Tuple[int, int]]:
+    """The ``(in_features, out_features)`` pairs a layer applies row-wise."""
+    if isinstance(layer, SharedMLP):
+        return [(d.in_features, d.out_features) for d in layer.layers]
+    return [(layer.in_features, layer.out_features)]
+
+
+def _apply_shared(layer, flat: np.ndarray, num_frames: int) -> np.ndarray:
+    """Apply a row-wise layer to a stacked ``(B * rows, C)`` operand.
+
+    The whole batch runs as one matmul per dense layer when that is
+    bit-identical to the per-frame dispatch, which is the case for
+    multi-row operands whose layer shapes pass the one-time
+    :func:`_stack_rows_safe` calibration.  Two cases fall back to one call
+    per frame to preserve bit-identity with the sequential forward:
+
+    * single-row per-frame operands (BLAS's matrix-vector path sums in a
+      different order than the stacked GEMM), and
+    * layer widths whose BLAS edge kernels are row-count dependent (e.g.
+      the 50-class part-segmentation head on OpenBLAS).
+    """
+    rows_per_frame = flat.shape[0] // num_frames
+    if num_frames == 1:
+        return layer(flat)
+    if rows_per_frame >= 2 and all(
+        _stack_rows_safe(k, n, rows_per_frame, num_frames)
+        for k, n in _dense_shapes(layer)
+    ):
+        return layer(flat)
+    return np.concatenate(
+        [
+            layer(flat[b * rows_per_frame : (b + 1) * rows_per_frame])
+            for b in range(num_frames)
+        ]
+    )
 
 
 @dataclass
@@ -159,6 +240,112 @@ class SetAbstraction:
         )
         return new_cloud, new_features, trace
 
+    # ------------------------------------------------------------------
+    def forward_batch(
+        self,
+        clouds: List[PointCloud],
+        features: Optional[np.ndarray],
+    ) -> Tuple[List[PointCloud], np.ndarray, List[SetAbstractionTrace]]:
+        """Run the layer over a stack of B same-shaped frames.
+
+        Data structuring stays per frame (each frame's neighborhoods are its
+        own), but the feature computation stacks every frame's groups into a
+        single ``(B * M * K, C)`` operand so the shared MLP runs one matmul
+        per layer for the whole batch.
+
+        Centroid seeding convention: the sequential forward seeds
+        :func:`pick_random_centroids` with the *layer* seed -- the same seed
+        for every frame -- so the batched path seeds each frame index with
+        that same layer seed.  Same-shaped frames therefore pick identical
+        centroid rows in both paths, which is what makes the batched logits
+        bit-identical to the sequential ones.
+
+        ``features`` is the stacked ``(B, N, F)`` feature tensor (``None``
+        for coordinate-only input).  Returns the per-frame centroid clouds,
+        the stacked ``(B, M, C_out)`` output features, and one
+        :class:`SetAbstractionTrace` per frame (bit-identical to the
+        sequential traces, including the gather results).
+        """
+        num_frames = len(clouds)
+        traces = [
+            SetAbstractionTrace(name=self.name, gather=None)
+            for _ in range(num_frames)
+        ]
+        num_points = clouds[0].num_points
+
+        if self.num_centroids is None:
+            # Global grouping: every point of each frame forms one group.
+            points = stack_frames([cloud.points for cloud in clouds])
+            grouped_xyz = points[:, None, :, :]  # (B, 1, N, 3)
+            grouped_features = (
+                features[:, None, :, :] if features is not None else None
+            )
+            new_clouds = [
+                PointCloud(points=cloud.centroid()[None, :]) for cloud in clouds
+            ]
+        else:
+            num_centroids = min(self.num_centroids, num_points)
+            neighbors = min(self.neighbors, num_points)
+            gathers: List[GatherResult] = []
+            for cloud in clouds:
+                centroid_indices = pick_random_centroids(
+                    cloud, num_centroids, seed=self.seed
+                )
+                gathers.append(
+                    self.gatherer.gather(cloud, centroid_indices, neighbors)
+                )
+            for trace, gather in zip(traces, gathers):
+                trace.gather = gather
+            # One fancy-indexing gather over the flattened stack instead of
+            # B per-frame gathers: per-frame neighbor rows plus the frame's
+            # flat row offset address the stacked coordinate matrix.
+            rows = stack_frames([g.neighbor_indices for g in gathers])
+            offsets = frame_offsets(num_frames, num_points)
+            flat_rows = rows + offsets[:, None, None]
+            flat_points = stack_frames(
+                [cloud.points for cloud in clouds]
+            ).reshape(-1, 3)
+            grouped_xyz = flat_points[flat_rows]  # (B, M, K, 3)
+            grouped_features = None
+            if features is not None:
+                grouped_features = features.reshape(
+                    num_frames * num_points, -1
+                )[flat_rows]
+            new_clouds = [
+                cloud.select(gather.centroid_indices)
+                for cloud, gather in zip(clouds, gathers)
+            ]
+
+        centers = stack_frames([cloud.points for cloud in new_clouds])
+        local_xyz = grouped_xyz - centers[:, :, None, :]
+        if grouped_features is not None:
+            group_input = np.concatenate([local_xyz, grouped_features], axis=-1)
+        else:
+            group_input = local_xyz
+
+        _, num_groups, group_size, channels = group_input.shape
+        flat = group_input.reshape(num_frames * num_groups * group_size, -1)
+        if flat.shape[-1] != self.mlp.in_features:
+            raise ValueError(
+                f"{self.name}: MLP expects {self.mlp.in_features} input "
+                f"channels, got {flat.shape[-1]}"
+            )
+        transformed = _apply_shared(self.mlp, flat, num_frames).reshape(
+            num_frames, num_groups, group_size, -1
+        )
+        new_features = transformed.max(axis=2)  # (B, M, C_out)
+
+        for trace in traces:
+            trace.layers.append(
+                LayerTrace(
+                    name=f"{self.name}.mlp",
+                    num_vectors=num_groups * group_size,
+                    mac_ops=self.mlp.mac_count(num_groups * group_size),
+                    output_channels=self.mlp.out_features,
+                )
+            )
+        return new_clouds, new_features, traces
+
 
 class FeaturePropagation:
     """PointNet++ feature propagation (upsampling) layer for segmentation.
@@ -216,6 +403,76 @@ class FeaturePropagation:
             output_channels=self.mlp.out_features,
         )
         return refined, trace
+
+    # ------------------------------------------------------------------
+    def forward_batch(
+        self,
+        dense_clouds: List[PointCloud],
+        dense_features: Optional[np.ndarray],
+        coarse_clouds: List[PointCloud],
+        coarse_features: np.ndarray,
+    ) -> Tuple[np.ndarray, List[LayerTrace]]:
+        """Propagate features for a stack of B same-shaped frames.
+
+        The nearest-coarse-point selection runs on the flattened
+        ``(B * N, M)`` distance matrix (per-row selection is independent,
+        so the rows are bit-identical to the per-frame ones) and the
+        refining MLP runs once over the stacked ``(B * N, C)`` operand.
+        ``dense_features`` / ``coarse_features`` are stacked ``(B, N, F)`` /
+        ``(B, M, C)`` tensors; returns the stacked ``(B, N, C_out)`` output
+        plus one per-frame trace.
+        """
+        num_frames = len(dense_clouds)
+        num_dense = dense_clouds[0].num_points
+        num_coarse = coarse_clouds[0].num_points
+
+        if num_coarse == 1:
+            interpolated = np.repeat(coarse_features, num_dense, axis=1)
+            interpolated = interpolated.reshape(num_frames * num_dense, -1)
+        else:
+            dense_points = stack_frames([c.points for c in dense_clouds])
+            coarse_points = stack_frames([c.points for c in coarse_clouds])
+            diff = dense_points[:, :, None, :] - coarse_points[:, None, :, :]
+            sq_dist = (diff**2).sum(axis=-1).reshape(-1, num_coarse)
+            k = min(3, num_coarse)
+            nearest = np.argpartition(sq_dist, kth=k - 1, axis=1)[:, :k]
+            near_dist = (
+                np.sqrt(np.take_along_axis(sq_dist, nearest, axis=1)) + 1e-10
+            )
+            weights = 1.0 / near_dist
+            weights = weights / weights.sum(axis=1, keepdims=True)
+            # Frame-local coarse indices -> rows of the flattened stack.
+            coarse_rows = nearest + np.repeat(
+                frame_offsets(num_frames, num_coarse), num_dense
+            )[:, None]
+            coarse_flat = coarse_features.reshape(num_frames * num_coarse, -1)
+            interpolated = (
+                coarse_flat[coarse_rows] * weights[..., None]
+            ).sum(axis=1)
+
+        if dense_features is not None:
+            combined = np.concatenate(
+                [dense_features.reshape(num_frames * num_dense, -1), interpolated],
+                axis=-1,
+            )
+        else:
+            combined = interpolated
+        if combined.shape[-1] != self.mlp.in_features:
+            raise ValueError(
+                f"{self.name}: MLP expects {self.mlp.in_features} input "
+                f"channels, got {combined.shape[-1]}"
+            )
+        refined = _apply_shared(self.mlp, combined, num_frames)
+        traces = [
+            LayerTrace(
+                name=f"{self.name}.mlp",
+                num_vectors=num_dense,
+                mac_ops=self.mlp.mac_count(num_dense),
+                output_channels=self.mlp.out_features,
+            )
+            for _ in range(num_frames)
+        ]
+        return refined.reshape(num_frames, num_dense, -1), traces
 
 
 class PointNet2Classification:
@@ -295,6 +552,57 @@ class PointNet2Classification:
             logits=logits, sa_traces=sa_traces, head_traces=head_traces
         )
 
+    def forward_batch(self, batch) -> List[ForwardResult]:
+        """Forward a :class:`~repro.core.framebatch.FrameBatch` of frames.
+
+        The three SA layers run stacked (one shared-MLP matmul per layer for
+        the whole batch).  The classification head operates on one global
+        feature vector per frame -- a single-row operand, which BLAS
+        dispatches through its matrix-vector path -- so it runs per frame to
+        stay bit-identical to the sequential forward (see
+        :func:`_apply_shared`).  Returns one per-frame
+        :class:`ForwardResult`, bit-identical to ``forward`` on each frame.
+        """
+        clouds = list(batch.clouds)
+        features = batch.features
+        num_frames = len(clouds)
+
+        clouds1, feat1, traces1 = self.sa1.forward_batch(clouds, features)
+        clouds2, feat2, traces2 = self.sa2.forward_batch(clouds1, feat1)
+        _clouds3, feat3, traces3 = self.sa3.forward_batch(clouds2, feat2)
+
+        results: List[ForwardResult] = []
+        for b in range(num_frames):
+            head_traces: List[LayerTrace] = []
+            x = feat3[b]  # (1, 1024): single-row head operand
+            for fc in (self.fc1, self.fc2):
+                x = self._relu(fc(x))
+                head_traces.append(
+                    LayerTrace(
+                        name=fc.name,
+                        num_vectors=x.shape[0],
+                        mac_ops=fc.mac_count(x.shape[0]),
+                        output_channels=fc.out_features,
+                    )
+                )
+            logits = self.fc3(x)
+            head_traces.append(
+                LayerTrace(
+                    name=self.fc3.name,
+                    num_vectors=x.shape[0],
+                    mac_ops=self.fc3.mac_count(x.shape[0]),
+                    output_channels=self.fc3.out_features,
+                )
+            )
+            results.append(
+                ForwardResult(
+                    logits=logits,
+                    sa_traces=[traces1[b], traces2[b], traces3[b]],
+                    head_traces=head_traces,
+                )
+            )
+        return results
+
 
 class PointNet2Segmentation:
     """PointNet++ (SSG) segmentation -- ``Pointnet++(ps)``/``(s)`` of Table I."""
@@ -362,6 +670,47 @@ class PointNet2Segmentation:
         return ForwardResult(
             logits=logits, sa_traces=sa_traces, head_traces=head_traces
         )
+
+    def forward_batch(self, batch) -> List[ForwardResult]:
+        """Forward a :class:`~repro.core.framebatch.FrameBatch` of frames.
+
+        Both SA layers, both FP layers, and the per-point head run stacked:
+        each underlying dense layer sees one ``(B * rows, C)`` operand, so
+        the whole batch is one matmul per layer.  Returns one per-frame
+        :class:`ForwardResult`, bit-identical to ``forward`` on each frame.
+        """
+        clouds = list(batch.clouds)
+        features = batch.features
+        num_frames = len(clouds)
+
+        clouds1, feat1, traces1 = self.sa1.forward_batch(clouds, features)
+        clouds2, feat2, traces2 = self.sa2.forward_batch(clouds1, feat1)
+
+        up1, fp_traces1 = self.fp1.forward_batch(clouds1, feat1, clouds2, feat2)
+        up0, fp_traces0 = self.fp0.forward_batch(clouds, features, clouds1, up1)
+
+        num_dense = up0.shape[1]
+        flat = up0.reshape(num_frames * num_dense, -1)
+        logits = _apply_shared(self.head, flat, num_frames).reshape(
+            num_frames, num_dense, -1
+        )
+
+        results: List[ForwardResult] = []
+        for b in range(num_frames):
+            head_trace = LayerTrace(
+                name=self.head.name,
+                num_vectors=num_dense,
+                mac_ops=self.head.mac_count(num_dense),
+                output_channels=self.head.out_features,
+            )
+            results.append(
+                ForwardResult(
+                    logits=logits[b],
+                    sa_traces=[traces1[b], traces2[b]],
+                    head_traces=[fp_traces1[b], fp_traces0[b], head_trace],
+                )
+            )
+        return results
 
 
 def build_model_for_task(

@@ -16,7 +16,7 @@ octree-build-overhead analysis of Figure 11.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -98,7 +98,94 @@ class Octree:
 
         codes = morton_encode_points(cloud.points, box, depth)
         order, unique_codes, starts, counts = bucketize_codes(codes)
+        return cls._assemble(
+            cloud, depth, box, codes, order, unique_codes, starts, counts
+        )
 
+    @classmethod
+    def build_batch(
+        cls,
+        clouds: "Sequence[PointCloud]",
+        depth: int,
+        padding: float = 1e-9,
+    ) -> List["Octree"]:
+        """Build one octree per frame of a same-shaped batch.
+
+        The heavy kernel work is issued once for the whole stack -- one
+        bit-spreading m-code encode over the ``(B * N, 3)`` voxel indices
+        and one stable ``argsort`` over the ``(B, N)`` code matrix -- while
+        the per-frame assembly (unique leaf codes, node counting, stats)
+        stays frame-local.  Every returned octree is bit-identical (codes,
+        permutation, stats, box) to ``Octree.build`` on that frame alone.
+        """
+        from repro.kernels import encode_cells, stack_frames
+
+        clouds = list(clouds)
+        if not clouds:
+            return []
+        for cloud in clouds:
+            if cloud.num_points == 0:
+                raise ValueError("cannot build an octree over an empty cloud")
+
+        points = stack_frames([cloud.points for cloud in clouds])  # (B, N, 3)
+        minima = points.min(axis=1)
+        maxima = points.max(axis=1)
+        boxes: List[AxisAlignedBox] = []
+        for b, cloud in enumerate(clouds):
+            bounds = AxisAlignedBox(minimum=minima[b], maximum=maxima[b])
+            if cloud._bounds_cache is None:
+                cloud._bounds_cache = bounds
+            boxes.append(bounds.as_cube(padding=padding))
+
+        # Per-frame voxel indices, same elementwise recipe as
+        # ``geometry.morton.voxel_indices`` but broadcast over the stack.
+        resolution = 1 << depth
+        cube_min = np.stack([box.minimum for box in boxes])
+        cube_size = np.stack([box.size for box in boxes])
+        extent = np.where(cube_size > 0, cube_size, 1.0)
+        relative = (points - cube_min[:, None, :]) / extent[:, None, :]
+        indices = np.floor(relative * resolution).astype(np.int64)
+        np.clip(indices, 0, resolution - 1, out=indices)
+
+        codes = encode_cells(indices.reshape(-1, 3), depth).reshape(
+            len(clouds), -1
+        )
+        orders = np.argsort(codes, axis=1, kind="stable")
+
+        octrees: List["Octree"] = []
+        for b, cloud in enumerate(clouds):
+            frame_codes = codes[b]
+            order = orders[b]
+            sorted_codes = frame_codes[order]
+            unique_codes, starts = np.unique(sorted_codes, return_index=True)
+            counts = np.diff(np.append(starts, sorted_codes.shape[0]))
+            octrees.append(
+                cls._assemble(
+                    cloud,
+                    depth,
+                    boxes[b],
+                    frame_codes,
+                    order,
+                    unique_codes.astype(np.int64),
+                    starts.astype(np.intp),
+                    counts.astype(np.intp),
+                )
+            )
+        return octrees
+
+    @classmethod
+    def _assemble(
+        cls,
+        cloud: PointCloud,
+        depth: int,
+        box: AxisAlignedBox,
+        codes: np.ndarray,
+        order: np.ndarray,
+        unique_codes: np.ndarray,
+        starts: np.ndarray,
+        counts: np.ndarray,
+    ) -> "Octree":
+        """Assemble an octree from pre-bucketed m-codes (shared build tail)."""
         stats = OctreeBuildStats(num_points=cloud.num_points, depth=depth)
         # One streaming read of every raw point (coordinates) ...
         stats.host_memory_reads += cloud.num_points

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.config import HgPCNConfig
 from repro.core.engine import InferenceEngine, PreprocessingEngine
+from repro.core.framebatch import FrameBatch
 from repro.core.metrics import LatencyBreakdown
 from repro.core.pipeline import EndToEndResult, SequenceResult
 from repro.datasets.base import Frame, PointCloudDataset
@@ -163,6 +164,16 @@ class Session:
         (including the raw cloud and octree), so size the cache to the frame
         scale -- or disable it -- when serving paper-scale million-point
         frames.
+    batch_rows_budget:
+        Cap on the stacked down-sampled points per batch-native dispatch:
+        a shape group whose frames down-sample to N points is processed in
+        sub-batches of ``max(1, budget // N)`` frames.  Stacked network
+        operands grow linearly with the sub-batch, and once they outgrow
+        the CPU caches the elementwise passes (bias, batch-norm, ReLU)
+        stream from main memory and the batch win inverts -- the default
+        keeps the working set cache-sized while still amortising the
+        per-frame dispatch overhead.  Responses are bit-identical for every
+        budget (sub-batching changes operand shapes, not results).
     preprocessing_engine / inference_engine:
         Pre-built engines to adopt (used by the :class:`HgPCNSystem` shim);
         when given they override ``sampler`` / ``accelerator``.
@@ -175,6 +186,7 @@ class Session:
         sampler: str = "ois",
         accelerator: Union[str, Any] = "hgpcn",
         response_cache_size: int = 64,
+        batch_rows_budget: int = 512,
         preprocessing_engine: Optional[PreprocessingEngine] = None,
         inference_engine: Optional[InferenceEngine] = None,
     ):
@@ -195,6 +207,7 @@ class Session:
         self.preprocessing_engine = preprocessing_engine
         self.inference_engine = inference_engine
         self.response_cache_size = max(0, int(response_cache_size))
+        self.batch_rows_budget = max(1, int(batch_rows_budget))
         self._response_cache: "OrderedDict[str, FrameResponse]" = OrderedDict()
         self.frames_processed = 0
         self.cache_hits = 0
@@ -274,13 +287,27 @@ class Session:
         return response
 
     # -- batched path ---------------------------------------------------
-    def run_batch(self, frames: Sequence[FrameLike]) -> BatchResult:
+    def run_batch(
+        self, frames: Sequence[FrameLike], batched: bool = True
+    ) -> BatchResult:
         """Process many frames, grouping same-shaped ones.
 
         Frames that will down-sample to the same ``(task, input_size,
-        channels)`` shape are processed back-to-back so the group's network
-        construction is paid once and every later member runs warm.
+        channels)`` shape form one dispatch group: the group's network
+        construction is paid once and -- in the default batch-native mode --
+        the group's frames travel the engines as
+        :class:`~repro.core.framebatch.FrameBatch` stacks (one octree-build
+        kernel sequence, one warm model, one stacked network forward per
+        layer) instead of re-entering the pipeline one frame at a time.
         ``responses`` comes back in submission order regardless.
+
+        ``batched=False`` forces the frame-at-a-time dispatch (each frame
+        goes through :meth:`run`).  Both modes produce bit-identical
+        responses -- logits, gather rows, stage counters, warm/cached flags,
+        and response-cache behaviour (hits, LRU order, evictions) -- so the
+        flag exists for benchmarking and verification, not for correctness.
+        This method is the single coercion site for its frames:
+        :meth:`run_sequence` delegates here without pre-wrapping.
         """
         requests = [
             FrameRequest.coerce(frame, index=self.frames_processed + i)
@@ -290,16 +317,149 @@ class Session:
         for i, request in enumerate(requests):
             grouped.setdefault(self.shape_key(request.cloud), []).append(i)
 
-        # Every slot is assigned exactly once (self.run returns or raises),
-        # keeping responses 1:1 with the submitted frames.
+        # Every slot is assigned exactly once (the dispatchers return or
+        # raise), keeping responses 1:1 with the submitted frames.
         responses: List[FrameResponse] = [None] * len(requests)  # type: ignore[list-item]
         for indices in grouped.values():
-            for i in indices:
-                responses[i] = self.run(requests[i])
+            if batched:
+                self._dispatch_group_batched(requests, indices, responses)
+            else:
+                for i in indices:
+                    responses[i] = self.run(requests[i])
         return BatchResult(
             responses=responses,
             groups={key: len(indices) for key, indices in grouped.items()},
         )
+
+    def _dispatch_group_batched(
+        self,
+        requests: List[FrameRequest],
+        indices: List[int],
+        responses: List[FrameResponse],
+    ) -> None:
+        """Process one shape group batch-natively.
+
+        The sequential path interleaves response-cache operations with
+        per-frame compute (check -> compute -> insert -> evict, frame by
+        frame), and that interleaving is observable: a duplicate frame hits
+        the cache only if its first occurrence has not been evicted by the
+        frames in between.  To stay bit-identical, the dispatch first
+        *simulates* the sequential cache-op sequence to decide which frames
+        compute, then runs all computing frames through the batched engines,
+        and finally replays the real cache operations in the original frame
+        order.
+        """
+        use_cache = self.response_cache_size > 0
+        digests: Dict[int, str] = {}
+        plan: List[Tuple[int, bool]] = []  # (request index, is_cache_hit)
+        if use_cache:
+            simulated = list(self._response_cache.keys())
+            simulated_set = set(simulated)
+            for i in indices:
+                digest = requests[i].content_digest()
+                digests[i] = digest
+                if digest in simulated_set:
+                    simulated.remove(digest)
+                    simulated.append(digest)
+                    plan.append((i, True))
+                else:
+                    plan.append((i, False))
+                    simulated.append(digest)
+                    simulated_set.add(digest)
+                    while len(simulated) > self.response_cache_size:
+                        evicted = simulated.pop(0)
+                        simulated_set.discard(evicted)
+        else:
+            plan = [(i, False) for i in indices]
+
+        compute_indices = [i for i, hit in plan if not hit]
+
+        # Sub-batch the computing frames so the stacked working set stays
+        # cache-sized (see ``batch_rows_budget``); every frame of the group
+        # down-samples to the same point count, so the sub-batch size is a
+        # constant frame count.
+        pre_results: Dict[int, Any] = {}
+        inference_results: Dict[int, Any] = {}
+        if compute_indices:
+            sampled_size = self.shape_key(requests[compute_indices[0]].cloud)[1]
+            frames_per_sub = max(1, self.batch_rows_budget // max(1, sampled_size))
+            for start in range(0, len(compute_indices), frames_per_sub):
+                self._compute_sub_batch(
+                    requests,
+                    compute_indices[start : start + frames_per_sub],
+                    pre_results,
+                    inference_results,
+                )
+
+        # Assembly: replay the cache operations in frame order.
+        for i, hit in plan:
+            request = requests[i]
+            if hit:
+                cached_response = self._response_cache[digests[i]]
+                self._response_cache.move_to_end(digests[i])
+                self.cache_hits += 1
+                self.frames_processed += 1
+                result = cached_response.result
+                if result.frame_id != request.frame_id:
+                    result = replace(result, frame_id=request.frame_id)
+                responses[i] = FrameResponse(
+                    request=request, result=result, warm=True, cached=True
+                )
+                continue
+            pre = pre_results[i]
+            inf = inference_results[i]
+            breakdown = LatencyBreakdown()
+            breakdown.add("preprocessing", pre.total_seconds())
+            breakdown.add("inference", inf.total_seconds())
+            result = EndToEndResult(
+                frame_id=request.frame_id,
+                preprocessing=pre,
+                inference=inf,
+                breakdown=breakdown,
+            )
+            response = FrameResponse(request=request, result=result, warm=inf.warm)
+            if use_cache:
+                self._response_cache[digests[i]] = response
+                while len(self._response_cache) > self.response_cache_size:
+                    self._response_cache.popitem(last=False)
+            self.frames_processed += 1
+            responses[i] = response
+
+    def _compute_sub_batch(
+        self,
+        requests: List[FrameRequest],
+        indices: List[int],
+        pre_results: Dict[int, Any],
+        inference_results: Dict[int, Any],
+    ) -> None:
+        """Run one budget-sized sub-batch through both engines.
+
+        Pre-processing batches per raw shape (frames of one dispatch group
+        share the *down-sampled* shape but may differ in raw point count);
+        inference runs the whole sub-batch against one warm model.
+        """
+        raw_groups: "OrderedDict[Tuple[int, int], List[int]]" = OrderedDict()
+        for i in indices:
+            cloud = requests[i].cloud
+            raw_groups.setdefault(
+                (cloud.num_points, cloud.num_feature_channels), []
+            ).append(i)
+        for raw_indices in raw_groups.values():
+            batch = FrameBatch.from_clouds(
+                [requests[i].cloud for i in raw_indices]
+            )
+            for i, pre in zip(
+                raw_indices, self.preprocessing_engine.process_batch(batch)
+            ):
+                pre_results[i] = pre
+
+        inference_batch = FrameBatch.from_clouds(
+            [pre_results[i].sampled for i in indices]
+        )
+        for i, inference in zip(
+            indices, self.inference_engine.process_batch(inference_batch)
+        ):
+            inference_results[i] = inference
 
     # -- sequence / real-time path --------------------------------------
     def run_sequence(
@@ -316,13 +476,14 @@ class Session:
         sensor's arrival schedule.  See
         :meth:`~repro.core.pipeline.HgPCNSystem.process_sequence` for the
         meaning of ``pipelined``.
+
+        Frames are handed to :meth:`run_batch` raw and coerced exactly once
+        there (the pre-wrap here used to coerce a second time with its own
+        ``frames_processed`` offset); the timestamps below are read back
+        from the batch's coerced requests.
         """
-        frame_list = list(frames)
-        requests = [
-            FrameRequest.coerce(frame, index=self.frames_processed + i)
-            for i, frame in enumerate(frame_list)
-        ]
-        batch = self.run_batch(requests)
+        batch = self.run_batch(list(frames))
+        requests = [response.request for response in batch.responses]
         sequence = SequenceResult(
             frame_results=batch.results(), pipelined=pipelined
         )
