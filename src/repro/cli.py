@@ -1,11 +1,19 @@
 """Command-line interface for the HgPCN reproduction.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     python -m repro.cli figures [--exhibit fig14]   # reproduce tables/figures
     python -m repro.cli e2e [--dataset kitti] ...   # run the pipeline on frames
+    python -m repro.cli serve [--frames 200] ...    # async serving soak
     python -m repro.cli samplers [--points 20000]   # compare down-sampling methods
     python -m repro.cli components [--kind sampler] # list registered components
+
+``serve`` drives the asynchronous serving subsystem with synthetic
+open-loop traffic (seeded Poisson arrivals), reports queue-wait/latency
+percentiles and throughput as JSON, and gates on the soak invariants:
+no dropped or rejected requests, futures resolving monotonically with
+their own request's payload, per-request outputs bit-identical to a
+sequential ``run_batch``, and p99 latency under a generous budget.
 
 Pipeline components are addressed by their registry names, so ``e2e`` can
 swap the down-sampler (``--sampler fps``) or the inference platform model
@@ -17,7 +25,12 @@ programmatically (see the examples/ directory).
 from __future__ import annotations
 
 import argparse
-from typing import Optional, Sequence
+import json
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro import registry
 from repro.analysis.quality import (
@@ -37,6 +50,32 @@ _DATASET_TASKS = {
     "s3dis": "semantic_segmentation",
     "kitti": "semantic_segmentation",
 }
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: integer >= 1 (clean error instead of a deep crash)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: integer >= 0 (0 is the documented sentinel)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,11 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
     e2e.add_argument("--neighbors", type=int, default=32)
     e2e.add_argument("--seed", type=int, default=0)
     e2e.add_argument(
-        "--frames", type=int, default=1,
+        "--frames", type=_positive_int, default=1,
         help="number of frames to run through one warm session (default 1)",
     )
     e2e.add_argument(
-        "--batch-size", type=int, default=0,
+        "--batch-size", type=_nonnegative_int, default=0,
         help="serve frames through the batch-native path in chunks of this "
              "many frames (0 = one batch containing every frame)",
     )
@@ -82,6 +121,61 @@ def build_parser() -> argparse.ArgumentParser:
         choices=registry.available("accelerator"),
         default="hgpcn",
         help="registered inference platform model (default: hgpcn)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="asynchronous serving soak: queue -> micro-batches -> workers",
+    )
+    serve.add_argument(
+        "--dataset", choices=sorted(_DATASET_TASKS), default="kitti"
+    )
+    serve.add_argument("--scale", type=float, default=0.001,
+                       help="fraction of the paper-scale raw frame to generate")
+    serve.add_argument("--samples", type=_positive_int, default=64,
+                       help="down-sampled input size (default 64)")
+    serve.add_argument("--neighbors", type=_positive_int, default=8)
+    serve.add_argument("--seed", type=_nonnegative_int, default=0)
+    serve.add_argument("--frames", type=_positive_int, default=200,
+                       help="number of synthetic requests to serve")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       help="warm-session worker threads (default 2)")
+    serve.add_argument(
+        "--sampler", choices=registry.available("sampler"), default="ois"
+    )
+    serve.add_argument(
+        "--accelerator", choices=registry.available("accelerator"),
+        default="hgpcn",
+    )
+    serve.add_argument(
+        "--rate-hz", type=float, default=100.0,
+        help="Poisson arrival rate of the open-loop traffic "
+             "(0 = submit everything at once)",
+    )
+    serve.add_argument("--max-batch", type=_positive_int, default=8,
+                       help="micro-batch size trigger (default 8)")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="micro-batch deadline trigger in ms (default 5)")
+    serve.add_argument(
+        "--queue-capacity", type=_nonnegative_int, default=0,
+        help="admission queue bound (0 = sized to the request count, "
+             "i.e. no backpressure during the soak)",
+    )
+    serve.add_argument(
+        "--batch-rows-budget", type=_nonnegative_int, default=0,
+        help="stacked-rows cap per dispatch (0 = session default)",
+    )
+    serve.add_argument(
+        "--metrics-out", type=Path, default=Path("serving_metrics.json"),
+        help="where to write the JSON metrics report",
+    )
+    serve.add_argument(
+        "--p99-budget-ms", type=float, default=10_000.0,
+        help="fail when p99 end-to-end latency exceeds this (0 disables)",
+    )
+    serve.add_argument(
+        "--no-verify", dest="verify", action="store_false",
+        help="skip the bit-identity check against a sequential run_batch",
     )
 
     samplers = sub.add_parser("samplers", help="compare down-sampling methods")
@@ -146,12 +240,12 @@ def _run_e2e(
     ]
     # The serving mode: every chunk travels the batch-native dispatch
     # (FrameBatch stacks through both engines and the stacked forward).
+    # ``batch_size`` is argparse-validated to be >= 0; run_batch rejects
+    # anything that is not a positive integer.
     chunk = batch_size if batch_size > 0 else len(frames)
-    batches = [
-        session.run_batch(frames[start : start + chunk])
-        for start in range(0, len(frames), chunk)
-    ]
-    responses = [response for batch in batches for response in batch]
+    batch = session.run_batch(frames, batch_size=chunk)
+    num_batches = (len(frames) + chunk - 1) // chunk
+    responses = list(batch)
     response = responses[0]
     result = response.result
 
@@ -167,19 +261,218 @@ def _run_e2e(
     if len(responses) > 1:
         stats = session.stats()
         served_warm = sum(1 for r in responses if r.warm or r.cached)
-        group_sizes = sorted(
-            (size for batch in batches for size in batch.groups.values()),
-            reverse=True,
-        )
+        group_sizes = sorted(batch.groups.values(), reverse=True)
         print(
             f"\nsession: {stats['frames_processed']} frames in "
-            f"{len(batches)} batch(es), {stats['model_builds']} model "
+            f"{num_batches} batch(es), {stats['model_builds']} model "
             f"build(s), {100 * served_warm / len(responses):.0f}% served warm"
         )
+        # Shape-group counts are merged across chunks (frames per shape
+        # over the whole run), not per-dispatch batch sizes.
         print(
-            "batched dispatch: group sizes "
+            "batched dispatch: frames per shape group "
             + ", ".join(str(size) for size in group_sizes)
         )
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The serving soak: open-loop Poisson traffic through a FrameServer."""
+    from repro.serving import (
+        FrameServer,
+        QueueFull,
+        response_signature,
+        signatures_equal,
+    )
+
+    task = _DATASET_TASKS[args.dataset]
+    source = registry.create(
+        "dataset", args.dataset, num_frames=args.frames, seed=args.seed,
+        scale=args.scale,
+    )
+    config = HgPCNConfig(
+        preprocessing=PreprocessingConfig(
+            num_samples=args.samples, seed=args.seed
+        ),
+        inference=InferenceEngineConfig(
+            num_centroids=max(8, args.samples // 4),
+            neighbors_per_centroid=args.neighbors,
+            seed=args.seed,
+        ),
+    )
+    requests = [
+        FrameRequest.from_frame(source.generate_frame(i))
+        for i in range(args.frames)
+    ]
+
+    session_options = dict(
+        config=config, task=task, sampler=args.sampler,
+        accelerator=args.accelerator,
+        # Per-worker response caches would make cached flags (and hit
+        # counts) depend on scheduling; serving sessions run without them
+        # so every worker computes every frame identically.
+        response_cache_size=0,
+    )
+    if args.batch_rows_budget:
+        session_options["batch_rows_budget"] = args.batch_rows_budget
+
+    failures: List[str] = []
+
+    # Ground truth for the bit-identity gate: the same requests through one
+    # sequential frame-at-a-time session.
+    expected = None
+    if args.verify:
+        reference = Session(**session_options).run_batch(
+            requests, batched=False
+        )
+        expected = [response_signature(r) for r in reference.responses]
+
+    # Open-loop seeded Poisson arrival schedule.
+    rng = np.random.default_rng(args.seed)
+    if args.rate_hz > 0:
+        arrivals = np.cumsum(
+            rng.exponential(1.0 / args.rate_hz, size=len(requests))
+        )
+    else:
+        arrivals = np.zeros(len(requests))
+
+    server = FrameServer(
+        session_factory=lambda: Session(**session_options),
+        num_workers=args.workers,
+        max_batch_size=args.max_batch,
+        max_wait_seconds=args.max_wait_ms / 1e3,
+        queue_capacity=args.queue_capacity or len(requests),
+    )
+    futures = []
+    responses: List[Optional[object]] = []
+    with server:
+        start = time.perf_counter()
+        for request, arrival in zip(requests, arrivals):
+            delay = start + arrival - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                futures.append(server.submit(request))
+            except QueueFull:
+                futures.append(None)
+        for i, future in enumerate(futures):
+            if future is None:
+                failures.append(f"request {i}: rejected by backpressure")
+                responses.append(None)
+                continue
+            try:
+                responses.append(future.result(timeout=300.0))
+            except Exception as exc:
+                failures.append(f"request {i}: future failed: {exc!r}")
+                responses.append(None)
+        wall_seconds = time.perf_counter() - start
+    metrics = server.metrics.snapshot()
+
+    # -- soak gates ------------------------------------------------------
+    counts = metrics["requests"]
+    if (
+        counts["rejected"] or counts["dropped"] or counts["failed"]
+        or counts["in_flight"]
+    ):
+        failures.append(
+            f"dropped/rejected/failed requests: {counts['rejected']} "
+            f"rejected, {counts['dropped']} dropped, "
+            f"{counts['failed']} failed, {counts['in_flight']} still "
+            "in flight after drain"
+        )
+    if counts["completed"] != len(requests):
+        failures.append(
+            f"completed {counts['completed']} of {len(requests)} requests"
+        )
+    if not metrics["futures_monotonic"]:
+        failures.append(
+            "non-monotonic futures: a micro-batch resolved its futures out "
+            "of admission order"
+        )
+    for i, (request, response) in enumerate(zip(requests, responses)):
+        if response is None:
+            continue
+        if response.request.frame_id != request.frame_id:
+            failures.append(
+                f"request {i}: future resolved with frame "
+                f"{response.request.frame_id!r}, expected "
+                f"{request.frame_id!r}"
+            )
+            break
+    if expected is not None:
+        for i, response in enumerate(responses):
+            if response is None:
+                continue
+            if not signatures_equal(response_signature(response), expected[i]):
+                failures.append(
+                    f"request {i} ({requests[i].frame_id}): served output "
+                    "is NOT bit-identical to sequential run_batch"
+                )
+                break
+    p99_ms = metrics["latency_ms"]["p99"]
+    if args.p99_budget_ms > 0 and p99_ms > args.p99_budget_ms:
+        failures.append(
+            f"p99 latency {p99_ms:.1f} ms exceeds the "
+            f"{args.p99_budget_ms:.0f} ms budget"
+        )
+
+    # -- report ----------------------------------------------------------
+    report = {
+        "serve": {
+            "dataset": args.dataset,
+            "task": task,
+            "frames": args.frames,
+            "workers": args.workers,
+            "sampler": args.sampler,
+            "accelerator": args.accelerator,
+            "rate_hz": args.rate_hz,
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "seed": args.seed,
+            "verified_bit_identical": bool(expected is not None and not any(
+                "bit-identical" in f for f in failures
+            )),
+            "wall_seconds": round(wall_seconds, 4),
+        },
+        "checks": {"passed": not failures, "failures": failures},
+        "metrics": metrics,
+        "workers": [s.stats() for s in server.sessions],
+    }
+    args.metrics_out.write_text(json.dumps(report, indent=2) + "\n")
+
+    batches = metrics["batches"]
+    rows = [
+        ["requests served", f"{counts['completed']}/{len(requests)}"],
+        ["workers x max-batch", f"{args.workers} x {args.max_batch}"],
+        ["micro-batches", f"{batches['count']} "
+         f"(mean occupancy {batches['mean_occupancy']:.2f})"],
+        ["dispatch triggers", ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(batches["triggers"].items())
+        ) or "none"],
+        ["queue wait p50/p95/p99 [ms]",
+         "{p50:.2f} / {p95:.2f} / {p99:.2f}".format(**metrics["queue_wait_ms"])],
+        ["latency p50/p95/p99 [ms]",
+         "{p50:.2f} / {p95:.2f} / {p99:.2f}".format(**metrics["latency_ms"])],
+        ["throughput [req/s]", f"{metrics['throughput_rps']:.1f}"],
+        ["bit-identical vs sequential",
+         "verified" if args.verify else "skipped"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"Serving soak: {args.frames} frames of {args.dataset} "
+                  f"at {args.rate_hz:g} Hz",
+        )
+    )
+    print(f"wrote {args.metrics_out}")
+    if failures:
+        print("\nserving soak FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("serving soak passed")
     return 0
 
 
@@ -232,6 +525,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             accelerator=args.accelerator,
             batch_size=args.batch_size,
         )
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "samplers":
         return _run_samplers(args.points, args.samples, args.seed)
     if args.command == "components":

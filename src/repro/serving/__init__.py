@@ -1,0 +1,52 @@
+"""Asynchronous serving on top of the ``FrameBatch`` boundary.
+
+The subsystem is three small pieces wired together by
+:class:`~repro.serving.server.FrameServer`:
+
+* :class:`~repro.serving.queue.AdmissionQueue` -- bounded FIFO front door
+  with enqueue timestamps and backpressure;
+* :class:`~repro.serving.scheduler.MicroBatchScheduler` -- groups admitted
+  requests by warm-state shape key into micro-batches, dispatching on a
+  max-batch-size or max-wait-deadline trigger, whichever fires first;
+* worker threads each owning one warm :class:`~repro.session.Session`,
+  draining batches through the bit-identical ``run_batch`` path;
+* :class:`~repro.serving.metrics.ServingMetrics` -- per-request records and
+  p50/p95/p99 queue-wait/latency percentiles.
+
+``Session.submit`` is the one-liner entry point (a single-worker server
+wrapped around the session itself); build a :class:`FrameServer` directly
+for multi-worker pools.
+"""
+
+from repro.serving.metrics import (
+    ManualClock,
+    RequestRecord,
+    ServingMetrics,
+)
+from repro.serving.queue import (
+    AdmissionQueue,
+    QueueClosed,
+    QueuedRequest,
+    QueueFull,
+)
+from repro.serving.scheduler import MicroBatch, MicroBatchScheduler
+from repro.serving.server import (
+    FrameServer,
+    response_signature,
+    signatures_equal,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "FrameServer",
+    "ManualClock",
+    "MicroBatch",
+    "MicroBatchScheduler",
+    "QueueClosed",
+    "QueueFull",
+    "QueuedRequest",
+    "RequestRecord",
+    "ServingMetrics",
+    "response_signature",
+    "signatures_equal",
+]

@@ -1,0 +1,151 @@
+"""Bounded admission queue: the front door of the serving subsystem.
+
+Requests enter serving through :meth:`AdmissionQueue.submit`, which stamps
+the enqueue time, allocates the submission sequence number, and pairs the
+request with the :class:`concurrent.futures.Future` handed back to the
+caller.  The queue is a bounded FIFO: when it is full, ``submit`` either
+raises :class:`QueueFull` immediately (the default -- open-loop callers
+count the rejection and move on) or blocks until the scheduler drains a
+slot (``block=True``, closed-loop backpressure).
+
+The scheduler thread is the single consumer; it pulls entries with
+:meth:`pop` and regroups them into shape-keyed micro-batches (see
+:mod:`repro.serving.scheduler`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.serving.metrics import Clock
+from repro.session import FrameRequest
+
+
+class QueueFull(RuntimeError):
+    """The admission queue is at capacity (backpressure)."""
+
+
+class QueueClosed(RuntimeError):
+    """The admission queue no longer accepts requests (shutdown)."""
+
+
+@dataclass
+class QueuedRequest:
+    """One admitted request travelling the queue -> scheduler -> worker path."""
+
+    request: FrameRequest
+    future: "Future"
+    #: Admission order (0-based), unique per queue.
+    sequence: int
+    #: Clock reading at admission.
+    enqueued_at: float
+    #: Filled in by the worker when its micro-batch starts executing.
+    dispatched_at: Optional[float] = field(default=None, compare=False)
+
+
+class AdmissionQueue:
+    """Thread-safe bounded FIFO of :class:`QueuedRequest` entries."""
+
+    def __init__(self, capacity: int = 256, clock: Clock = time.monotonic):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.clock = clock
+        self._entries: Deque[QueuedRequest] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self._sequence = 0
+        self.rejected = 0
+
+    # -- producer side --------------------------------------------------
+    def submit(
+        self,
+        request: FrameRequest,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> QueuedRequest:
+        """Admit ``request``; returns its queue entry (future included).
+
+        Raises :class:`QueueFull` when at capacity (after ``timeout`` in
+        blocking mode) and :class:`QueueClosed` after :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("admission queue is closed")
+            if len(self._entries) >= self.capacity:
+                if not block:
+                    self.rejected += 1
+                    raise QueueFull(
+                        f"admission queue at capacity ({self.capacity})"
+                    )
+                deadline = None if timeout is None else self.clock() + timeout
+                while len(self._entries) >= self.capacity and not self._closed:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - self.clock()
+                        if remaining <= 0:
+                            break
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    raise QueueClosed("admission queue is closed")
+                if len(self._entries) >= self.capacity:
+                    self.rejected += 1
+                    raise QueueFull(
+                        f"admission queue at capacity ({self.capacity})"
+                    )
+            entry = QueuedRequest(
+                request=request,
+                future=Future(),
+                sequence=self._sequence,
+                enqueued_at=self.clock(),
+            )
+            self._sequence += 1
+            self._entries.append(entry)
+            self._not_empty.notify()
+            return entry
+
+    def close(self) -> None:
+        """Stop admitting; already-queued entries remain poppable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # -- consumer side --------------------------------------------------
+    def pop(self, timeout: Optional[float] = None) -> Optional[QueuedRequest]:
+        """Pop the oldest entry, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the queue is closed and empty
+        (check :meth:`is_drained` to tell the two apart).
+        """
+        with self._lock:
+            if not self._entries:
+                if self._closed:
+                    return None
+                self._not_empty.wait(timeout)
+            if not self._entries:
+                return None
+            entry = self._entries.popleft()
+            self._not_full.notify()
+            return entry
+
+    def is_drained(self) -> bool:
+        """Closed and empty: no entry will ever come out again."""
+        with self._lock:
+            return self._closed and not self._entries
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

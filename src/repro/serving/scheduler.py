@@ -1,0 +1,179 @@
+"""Shape-grouped micro-batch formation with size/deadline dispatch triggers.
+
+The scheduler holds the requests the admission queue has handed over and
+groups them by their warm-state shape key -- ``(task, sampled_size,
+feature_channels)``, the same key :meth:`repro.session.Session.shape_key`
+uses -- because only same-keyed frames can ride one
+:class:`~repro.core.framebatch.FrameBatch` through a warm session.
+
+A group dispatches as a :class:`MicroBatch` when the first of two triggers
+fires:
+
+* **size** -- the group reached its effective batch size: the configured
+  ``max_batch_size``, further capped by ``batch_rows_budget // sampled_size``
+  so the stacked network operand stays cache-sized (the same budget
+  :class:`~repro.session.Session` applies when sub-batching; capping here
+  keeps the scheduler from forming batches the session would immediately
+  split).
+* **deadline** -- the group's *oldest* request has waited ``max_wait``
+  seconds since admission.  This bounds the latency a lonely shape pays for
+  batching: a request never waits more than ``max_wait`` for companions
+  that may not come.
+
+Whichever trigger fires, members leave in admission order, so per-batch
+future resolution stays monotonic in sequence numbers.  :meth:`drain`
+flushes every pending group (trigger ``"drain"``) for graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.serving.metrics import Clock
+from repro.serving.queue import QueuedRequest
+from repro.session import FrameRequest
+
+#: Maps a request to its warm-state shape key ``(task, sampled, channels)``.
+ShapeKey = Callable[[FrameRequest], Tuple[str, int, int]]
+
+
+@dataclass
+class MicroBatch:
+    """One shape-homogeneous batch ready for a worker."""
+
+    key: Tuple[str, int, int]
+    entries: List[QueuedRequest]
+    #: Clock reading when the batch was formed.
+    formed_at: float
+    #: Which trigger formed it: "size", "deadline", or "drain".
+    trigger: str
+    #: Formation order (0-based, per scheduler).
+    batch_id: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class MicroBatchScheduler:
+    """Groups pending requests by shape key and decides when to dispatch."""
+
+    def __init__(
+        self,
+        shape_key: ShapeKey,
+        max_batch_size: int = 8,
+        max_wait_seconds: float = 0.005,
+        batch_rows_budget: Optional[int] = None,
+        clock: Clock = time.monotonic,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_seconds < 0:
+            raise ValueError(
+                f"max_wait_seconds must be >= 0, got {max_wait_seconds}"
+            )
+        if batch_rows_budget is not None and batch_rows_budget < 1:
+            raise ValueError(
+                f"batch_rows_budget must be >= 1, got {batch_rows_budget}"
+            )
+        self.shape_key = shape_key
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_seconds = float(max_wait_seconds)
+        self.batch_rows_budget = batch_rows_budget
+        self.clock = clock
+        self._lock = threading.Lock()
+        #: Pending entries per shape key, in admission order.
+        self._pending: Dict[Tuple[str, int, int], List[QueuedRequest]] = {}
+        self._batch_counter = 0
+
+    # ------------------------------------------------------------------
+    def effective_batch_size(self, key: Tuple[str, int, int]) -> int:
+        """The size trigger for ``key``: max batch size under the rows budget."""
+        limit = self.max_batch_size
+        if self.batch_rows_budget is not None:
+            rows = max(1, int(key[1]))
+            limit = min(limit, max(1, self.batch_rows_budget // rows))
+        return limit
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return sum(len(entries) for entries in self._pending.values())
+
+    def pending_keys(self) -> List[Tuple[str, int, int]]:
+        with self._lock:
+            return [key for key, entries in self._pending.items() if entries]
+
+    # ------------------------------------------------------------------
+    def add(self, entry: QueuedRequest) -> None:
+        """Accept one entry from the admission queue into its shape group."""
+        key = self.shape_key(entry.request)
+        with self._lock:
+            self._pending.setdefault(key, []).append(entry)
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest clock reading at which a deadline trigger fires."""
+        with self._lock:
+            oldest = [
+                entries[0].enqueued_at
+                for entries in self._pending.values()
+                if entries
+            ]
+        if not oldest:
+            return None
+        return min(oldest) + self.max_wait_seconds
+
+    def ready(self, now: Optional[float] = None) -> List[MicroBatch]:
+        """Pop every batch whose size or deadline trigger has fired."""
+        if now is None:
+            now = self.clock()
+        batches: List[MicroBatch] = []
+        with self._lock:
+            for key in list(self._pending):
+                entries = self._pending[key]
+                limit = self.effective_batch_size(key)
+                while len(entries) >= limit:
+                    batches.append(
+                        self._form(key, entries[:limit], now, "size")
+                    )
+                    del entries[:limit]
+                if entries and now - entries[0].enqueued_at >= self.max_wait_seconds:
+                    batches.append(self._form(key, entries[:limit], now, "deadline"))
+                    del entries[:limit]
+                if not entries:
+                    del self._pending[key]
+        return batches
+
+    def drain(self, now: Optional[float] = None) -> List[MicroBatch]:
+        """Flush every pending group (shutdown path)."""
+        if now is None:
+            now = self.clock()
+        batches: List[MicroBatch] = []
+        with self._lock:
+            for key in list(self._pending):
+                entries = self._pending.pop(key)
+                limit = self.effective_batch_size(key)
+                for start in range(0, len(entries), limit):
+                    batches.append(
+                        self._form(key, entries[start : start + limit], now, "drain")
+                    )
+        return batches
+
+    def _form(
+        self,
+        key: Tuple[str, int, int],
+        entries: List[QueuedRequest],
+        now: float,
+        trigger: str,
+    ) -> MicroBatch:
+        batch = MicroBatch(
+            key=key,
+            entries=list(entries),
+            formed_at=now,
+            trigger=trigger,
+            batch_id=self._batch_counter,
+        )
+        self._batch_counter += 1
+        return batch

@@ -1,0 +1,353 @@
+"""Warm-session worker pool: admission queue -> scheduler -> N workers.
+
+:class:`FrameServer` owns the full asynchronous serving path:
+
+* callers :meth:`~FrameServer.submit` frames and get
+  :class:`concurrent.futures.Future` objects back;
+* a scheduler thread moves admitted requests into the
+  :class:`~repro.serving.scheduler.MicroBatchScheduler` and dispatches the
+  micro-batches it forms;
+* ``num_workers`` worker threads each own one **warm**
+  :class:`~repro.session.Session` (built by ``session_factory``) and drain
+  dispatched batches through the existing bit-identical
+  :meth:`~repro.session.Session.run_batch` path, resolving the per-request
+  futures in admission order.
+
+Determinism contract: every per-frame computation in the pipeline seeds its
+RNG per call (samplers, gatherers, network layers), so a frame's response
+payload -- logits, sampled indices, gather rows, counters, modelled
+latencies -- depends only on the frame and the session configuration, never
+on which worker served it or which companions shared its micro-batch.
+:func:`response_signature` captures exactly that order-invariant payload;
+the soak gate and the serving benchmarks compare it against a sequential
+:meth:`Session.run_batch` run.  What *does* depend on scheduling is the
+warm/cached flags and any per-worker response cache, which is why
+signatures exclude them and serving sessions are normally built with
+``response_cache_size=0``.
+
+Shutdown is graceful by default: :meth:`shutdown` closes the admission
+queue, the scheduler flushes its pending groups (trigger ``"drain"``), the
+workers finish every dispatched batch, and only then do the threads exit --
+no admitted request is dropped.  ``drain=False`` cancels instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import queue as _stdlib_queue
+import threading
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.metrics import Clock, RequestRecord, ServingMetrics
+from repro.serving.queue import (
+    AdmissionQueue,
+    QueueClosed,
+    QueuedRequest,
+    QueueFull,
+)
+from repro.serving.scheduler import MicroBatch, MicroBatchScheduler
+from repro.session import FrameLike, FrameRequest, FrameResponse, Session
+
+#: How long the scheduler sleeps waiting for work when nothing is pending.
+_IDLE_POLL_SECONDS = 0.05
+
+
+def response_signature(response: FrameResponse) -> Tuple[Any, ...]:
+    """The order-invariant payload of a response, for bit-identity checks.
+
+    Covers logits, sampled indices, per-SA-layer gather rows, the data
+    structuring counters, and the modelled latency breakdown.  Excludes the
+    warm/cached flags, which legitimately depend on which worker served the
+    frame and what it served before.
+    """
+    forward = response.result.inference.forward
+    return (
+        response.result.frame_id,
+        forward.logits,
+        response.result.preprocessing.sampling.indices,
+        tuple(
+            trace.gather.neighbor_indices
+            for trace in forward.sa_traces
+            if trace.gather is not None
+        ),
+        dataclasses.asdict(response.result.inference.workload.data_structuring),
+        tuple(response.result.breakdown.as_dict().items()),
+    )
+
+
+def signatures_equal(a: Any, b: Any) -> bool:
+    """Deep equality over signature tuples (arrays compared elementwise)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(np.asarray(a), np.asarray(b))
+    if isinstance(a, (tuple, list)):
+        return (
+            isinstance(b, (tuple, list))
+            and len(a) == len(b)
+            and all(signatures_equal(x, y) for x, y in zip(a, b))
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and a.keys() == b.keys()
+            and all(signatures_equal(a[k], b[k]) for k in a)
+        )
+    return bool(a == b)
+
+
+class FrameServer:
+    """Asynchronous point-cloud serving over a pool of warm sessions.
+
+    Parameters
+    ----------
+    session_factory:
+        Zero-argument callable building one :class:`Session` per worker.
+        Factories must return *distinct* sessions for distinct workers
+        (sessions are not thread-safe); for deterministic cross-worker
+        results, build them with identical configs and
+        ``response_cache_size=0``.
+    num_workers:
+        Worker threads (one warm session each).
+    max_batch_size / max_wait_seconds / batch_rows_budget:
+        Micro-batch triggers (see
+        :class:`~repro.serving.scheduler.MicroBatchScheduler`).  The rows
+        budget defaults to the sessions' own ``batch_rows_budget``.
+    queue_capacity:
+        Admission queue bound (backpressure above it).
+    clock:
+        Injectable monotonic clock shared by every serving component.
+    """
+
+    def __init__(
+        self,
+        session_factory: Callable[[], Session],
+        num_workers: int = 1,
+        max_batch_size: int = 8,
+        max_wait_seconds: float = 0.005,
+        queue_capacity: int = 256,
+        batch_rows_budget: Optional[int] = None,
+        clock: Clock = time.monotonic,
+        name: str = "serving",
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.session_factory = session_factory
+        self.num_workers = int(num_workers)
+        self.name = name
+        self.clock = clock
+        self.metrics = ServingMetrics()
+        self.admission = AdmissionQueue(capacity=queue_capacity, clock=clock)
+        self.sessions: List[Session] = []
+        self._max_batch_size = max_batch_size
+        self._max_wait_seconds = max_wait_seconds
+        self._batch_rows_budget = batch_rows_budget
+        self.scheduler: Optional[MicroBatchScheduler] = None
+        self._dispatch: "_stdlib_queue.Queue[Optional[MicroBatch]]" = (
+            _stdlib_queue.Queue()
+        )
+        self._threads: List[threading.Thread] = []
+        #: Numbers raw clouds submitted without a frame_id so each gets a
+        #: distinct id *within this server*.  The ids are not coordinated
+        #: with the synchronous path's frames_processed numbering (and
+        #: restart with every new server); pass FrameRequests with explicit
+        #: frame_ids when ids must be stable across paths.
+        self._submit_counter = itertools.count()
+        self._started = False
+        self._stopped = False
+        self._discard = False
+        self._lifecycle_lock = threading.Lock()
+
+    # -- life cycle -----------------------------------------------------
+    def start(self) -> "FrameServer":
+        with self._lifecycle_lock:
+            if self._started:
+                return self
+            if self._stopped:
+                raise RuntimeError("FrameServer cannot be restarted")
+            self.sessions = [self.session_factory() for _ in range(self.num_workers)]
+            if len(set(map(id, self.sessions))) != len(self.sessions):
+                raise ValueError(
+                    "session_factory must build a distinct Session per worker"
+                )
+            if self._batch_rows_budget is None:
+                self._batch_rows_budget = self.sessions[0].batch_rows_budget
+            self.scheduler = MicroBatchScheduler(
+                shape_key=lambda request: self.sessions[0].shape_key(request.cloud),
+                max_batch_size=self._max_batch_size,
+                max_wait_seconds=self._max_wait_seconds,
+                batch_rows_budget=self._batch_rows_budget,
+                clock=self.clock,
+            )
+            scheduler_thread = threading.Thread(
+                target=self._scheduler_loop,
+                name=f"{self.name}-scheduler",
+                daemon=True,
+            )
+            self._threads.append(scheduler_thread)
+            for worker_index in range(self.num_workers):
+                self._threads.append(
+                    threading.Thread(
+                        target=self._worker_loop,
+                        args=(worker_index,),
+                        name=f"{self.name}-worker-{worker_index}",
+                        daemon=True,
+                    )
+                )
+            for thread in self._threads:
+                thread.start()
+            self._started = True
+            return self
+
+    def __enter__(self) -> "FrameServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    def shutdown(
+        self, drain: bool = True, timeout: Optional[float] = None
+    ) -> dict:
+        """Stop serving and return the final metrics snapshot.
+
+        ``drain=True`` (the default) completes every admitted request first;
+        ``drain=False`` cancels whatever has not been dispatched yet.
+        """
+        with self._lifecycle_lock:
+            if self._stopped or not self._started:
+                self._stopped = True
+                self.admission.close()
+                return self.metrics.snapshot()
+            self._discard = not drain
+            self.admission.close()
+            for thread in self._threads:
+                thread.join(timeout)
+            self._stopped = True
+            return self.metrics.snapshot()
+
+    # -- request entry ---------------------------------------------------
+    def submit(
+        self,
+        frame: FrameLike,
+        frame_id: Optional[str] = None,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ):
+        """Admit one frame; returns a future resolving to a FrameResponse.
+
+        Raises :class:`~repro.serving.queue.QueueFull` under backpressure
+        and :class:`~repro.serving.queue.QueueClosed` after shutdown.
+        """
+        if not self._started:
+            self.start()
+        request = FrameRequest.coerce(frame, index=next(self._submit_counter))
+        if frame_id is not None:
+            request = dataclasses.replace(request, frame_id=frame_id)
+        # Count the submission before the entry becomes visible to the
+        # scheduler: recording it afterwards opens a window where a fast
+        # worker completes the request first and a live stats() snapshot
+        # reports completed > submitted (negative in_flight).
+        self.metrics.record_submitted()
+        try:
+            entry = self.admission.submit(request, block=block, timeout=timeout)
+        except QueueFull:
+            self.metrics.record_admission_failed()
+            self.metrics.record_rejected()
+            raise
+        except QueueClosed:
+            self.metrics.record_admission_failed()
+            raise
+        return entry.future
+
+    def stats(self) -> dict:
+        """Live metrics snapshot (the server keeps running)."""
+        return self.metrics.snapshot()
+
+    # -- scheduler thread -------------------------------------------------
+    def _scheduler_loop(self) -> None:
+        scheduler = self.scheduler
+        assert scheduler is not None
+        # The finally block guarantees the worker sentinels are posted even
+        # if the loop dies on an unexpected exception -- otherwise every
+        # worker would block in dispatch.get() forever and shutdown's
+        # join() would hang the caller.
+        try:
+            while True:
+                if self.admission.is_drained():
+                    final = scheduler.drain()
+                    if self._discard:
+                        for batch in final:
+                            for entry in batch.entries:
+                                entry.future.cancel()
+                                self.metrics.record_cancelled()
+                    else:
+                        for batch in final:
+                            self._dispatch.put(batch)
+                    break
+                deadline = scheduler.next_deadline()
+                if deadline is None:
+                    timeout: Optional[float] = _IDLE_POLL_SECONDS
+                else:
+                    timeout = max(0.0, deadline - self.clock())
+                entry = self.admission.pop(timeout=timeout)
+                if entry is not None:
+                    scheduler.add(entry)
+                    # Sweep whatever else is already queued without
+                    # blocking, so a burst fills a size-triggered batch in
+                    # one pass.
+                    while True:
+                        extra = self.admission.pop(timeout=0)
+                        if extra is None:
+                            break
+                        scheduler.add(extra)
+                for batch in scheduler.ready():
+                    self._dispatch.put(batch)
+        finally:
+            for _ in range(self.num_workers):
+                self._dispatch.put(None)
+
+    # -- worker threads ---------------------------------------------------
+    def _worker_loop(self, worker_index: int) -> None:
+        session = self.sessions[worker_index]
+        worker_name = f"{self.name}-worker-{worker_index}"
+        while True:
+            batch = self._dispatch.get()
+            if batch is None:
+                break
+            dispatched_at = self.clock()
+            for entry in batch.entries:
+                entry.dispatched_at = dispatched_at
+            try:
+                result = session.run_batch(
+                    [entry.request for entry in batch.entries]
+                )
+                responses: List[Optional[FrameResponse]] = list(result.responses)
+                error: Optional[BaseException] = None
+            except Exception as exc:  # resolve futures, keep serving
+                responses = [None] * len(batch.entries)
+                error = exc
+            completed_at = self.clock()
+            for entry, response in zip(batch.entries, responses):
+                completion_index = self.metrics.next_completion_index()
+                if entry.future.set_running_or_notify_cancel():
+                    if error is None:
+                        entry.future.set_result(response)
+                    else:
+                        entry.future.set_exception(error)
+                self.metrics.record(
+                    RequestRecord(
+                        sequence=entry.sequence,
+                        frame_id=entry.request.frame_id,
+                        enqueued_at=entry.enqueued_at,
+                        dispatched_at=dispatched_at,
+                        completed_at=completed_at,
+                        completion_index=completion_index,
+                        batch_id=batch.batch_id,
+                        batch_size=len(batch.entries),
+                        trigger=batch.trigger,
+                        worker=worker_name,
+                        ok=error is None,
+                    )
+                )

@@ -32,6 +32,7 @@ shim over a Session.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -211,6 +212,11 @@ class Session:
         self._response_cache: "OrderedDict[str, FrameResponse]" = OrderedDict()
         self.frames_processed = 0
         self.cache_hits = 0
+        #: Lazily-started single-worker FrameServer behind :meth:`submit`,
+        #: guarded by a lock so concurrent first submits cannot start two
+        #: servers over the same (non-thread-safe) session.
+        self._server: Optional[Any] = None
+        self._server_lock = threading.Lock()
 
     # -- warm-state introspection --------------------------------------
     @property
@@ -286,9 +292,55 @@ class Session:
         self.frames_processed += 1
         return response
 
+    # -- asynchronous path ----------------------------------------------
+    def submit(self, frame: FrameLike, frame_id: Optional[str] = None, **server_options):
+        """Submit one frame asynchronously; returns a future.
+
+        The first call lazily starts a single-worker
+        :class:`~repro.serving.server.FrameServer` whose worker *is* this
+        session (same warm caches, same response cache), configured by
+        ``server_options`` (``max_batch_size``, ``max_wait_seconds``,
+        ``queue_capacity``, ...).  The future resolves to the frame's
+        :class:`FrameResponse` once its micro-batch has been served; call
+        :meth:`drain` to flush pending work and stop the server.  Do not mix
+        ``submit`` with direct :meth:`run`/:meth:`run_batch` calls while the
+        server is live -- the session's warm state is not thread-safe.
+        """
+        with self._server_lock:
+            if self._server is None:
+                from repro.serving.server import FrameServer
+
+                self._server = FrameServer(
+                    session_factory=lambda: self, num_workers=1,
+                    **server_options,
+                ).start()
+            elif server_options:
+                raise ValueError(
+                    "server options only apply to the first submit(); "
+                    "drain() first to reconfigure"
+                )
+            server = self._server
+        return server.submit(frame, frame_id=frame_id)
+
+    def drain(self) -> Optional[Dict[str, Any]]:
+        """Finish all submitted work, stop serving, return the metrics.
+
+        Returns ``None`` when :meth:`submit` was never called.  The session
+        itself stays warm and usable afterwards (and :meth:`submit` may be
+        called again to start a fresh server).
+        """
+        with self._server_lock:
+            if self._server is None:
+                return None
+            server, self._server = self._server, None
+        return server.shutdown(drain=True)
+
     # -- batched path ---------------------------------------------------
     def run_batch(
-        self, frames: Sequence[FrameLike], batched: bool = True
+        self,
+        frames: Sequence[FrameLike],
+        batched: bool = True,
+        batch_size: Optional[int] = None,
     ) -> BatchResult:
         """Process many frames, grouping same-shaped ones.
 
@@ -308,7 +360,37 @@ class Session:
         flag exists for benchmarking and verification, not for correctness.
         This method is the single coercion site for its frames:
         :meth:`run_sequence` delegates here without pre-wrapping.
+
+        ``batch_size`` chunks the frame stream: each consecutive chunk of at
+        most ``batch_size`` frames is dispatched as its own batch (shape
+        groups never span chunks), and the chunk results are merged back
+        into one :class:`BatchResult` in submission order.  ``None`` (the
+        default) dispatches everything as one batch; anything else must be
+        a positive integer -- zero and negative values are rejected here
+        rather than crashing deep inside the group planner.
         """
+        if batch_size is not None:
+            if (
+                isinstance(batch_size, bool)
+                or not isinstance(batch_size, int)
+                or batch_size < 1
+            ):
+                raise ValueError(
+                    f"batch_size must be a positive integer or None, got "
+                    f"{batch_size!r}"
+                )
+            frames = list(frames)
+            if batch_size < len(frames):
+                merged: List[FrameResponse] = []
+                groups: Dict[Tuple[str, int, int], int] = {}
+                for start in range(0, len(frames), batch_size):
+                    chunk = self.run_batch(
+                        frames[start : start + batch_size], batched=batched
+                    )
+                    merged.extend(chunk.responses)
+                    for key, count in chunk.groups.items():
+                        groups[key] = groups.get(key, 0) + count
+                return BatchResult(responses=merged, groups=groups)
         requests = [
             FrameRequest.coerce(frame, index=self.frames_processed + i)
             for i, frame in enumerate(frames)
