@@ -545,6 +545,32 @@ def build_scenarios(quick: bool) -> List[Scenario]:
     scenarios.append(_serving_scenario(quick, rate_hz=2000.0, label="poisson"))
     scenarios.append(_serving_scenario(quick, rate_hz=0.0, label="burst"))
 
+    # --- serving: process-sharded execution vs the thread pool ----------
+    # Same seeded arrival schedules, but the measured side runs the
+    # PR 6 cluster subsystem -- a multiprocess worker pool (shared-memory
+    # FrameBatch transport) and a 2-shard consistent-hash router -- while
+    # the reference side is the PR 5 in-process thread pool.  The value
+    # comparison asserts bit-identical responses across execution modes,
+    # so these scenarios double as a cross-process determinism gate.
+    scenarios.append(
+        _serving_scenario(
+            quick,
+            rate_hz=2000.0,
+            label="process_poisson",
+            execution="process",
+            reference="thread_pool",
+        )
+    )
+    scenarios.append(
+        _serving_scenario(
+            quick,
+            rate_hz=0.0,
+            label="sharded_burst",
+            shards=2,
+            reference="thread_pool",
+        )
+    )
+
     return scenarios
 
 
@@ -633,14 +659,21 @@ def _batch_dispatch_scenario(batch_frames: int, quick: bool) -> Scenario:
     )
 
 
-def _serving_scenario(quick: bool, rate_hz: float, label: str) -> Scenario:
+def _serving_scenario(
+    quick: bool,
+    rate_hz: float,
+    label: str,
+    execution: str = "thread",
+    shards: int = 1,
+    reference: str = "naive",
+) -> Scenario:
     from repro.core.config import (
         HgPCNConfig,
         InferenceEngineConfig,
         PreprocessingConfig,
     )
     from repro.session import FrameRequest, Session
-    from repro.serving import FrameServer
+    from repro.serving import FrameServer, ShardRouter
     from repro.serving.server import response_signature
 
     num_requests = 24 if quick else 64
@@ -688,31 +721,46 @@ def _serving_scenario(quick: bool, rate_hz: float, label: str) -> Scenario:
     # the measurement is steady-state (warm models everywhere).
     state: Dict[str, Any] = {}
 
-    def get_server() -> FrameServer:
-        if "server" not in state:
-            state["server"] = FrameServer(
-                session_factory=make_session,
-                num_workers=2,
-                max_batch_size=8,
-                max_wait_seconds=0.002,
-                queue_capacity=num_requests,
-                name=f"bench-{label}",
-            ).start()
-        return state["server"]
+    endpoint_options = dict(
+        session_factory=make_session,
+        num_workers=2,
+        max_batch_size=8,
+        max_wait_seconds=0.002,
+        queue_capacity=num_requests,
+    )
 
-    def run_scheduled():
-        server = get_server()
+    def get_endpoint():
+        if "endpoint" not in state:
+            if shards > 1:
+                state["endpoint"] = ShardRouter(
+                    num_shards=shards,
+                    execution=execution,
+                    name=f"bench-{label}",
+                    **endpoint_options,
+                ).start()
+            else:
+                state["endpoint"] = FrameServer(
+                    execution=execution,
+                    name=f"bench-{label}",
+                    **endpoint_options,
+                ).start()
+        return state["endpoint"]
+
+    def submit_on_schedule(endpoint):
         start = time.perf_counter()
         futures = []
         for request, arrival in zip(requests, arrivals):
             delay = start + arrival - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
-            futures.append(server.submit(request))
+            futures.append(endpoint.submit(request))
         return [
             response_signature(future.result(timeout=120.0))
             for future in futures
         ], None
+
+    def run_scheduled():
+        return submit_on_schedule(get_endpoint())
 
     def run_naive():
         if "naive" not in state:
@@ -727,6 +775,19 @@ def _serving_scenario(quick: bool, rate_hz: float, label: str) -> Scenario:
             signatures.append(response_signature(naive_session.run(request)))
         return signatures, None
 
+    def run_thread_pool_reference():
+        # The PR 5 serving path: one in-process server with a thread
+        # worker pool, driven on the identical seeded arrival schedule.
+        # The harness's value comparison then asserts that the process
+        # pool / shard router produce bit-identical responses.
+        if "thread_reference" not in state:
+            state["thread_reference"] = FrameServer(
+                execution="thread",
+                name=f"bench-{label}-ref",
+                **endpoint_options,
+            ).start()
+        return submit_on_schedule(state["thread_reference"])
+
     return Scenario(
         name=f"serving_{label}",
         stage="serving",
@@ -739,9 +800,16 @@ def _serving_scenario(quick: bool, rate_hz: float, label: str) -> Scenario:
             "max_batch": 8,
             "max_wait_ms": 2.0,
             "sampler": "random",
+            "execution": execution,
+            "shards": shards,
+            "reference": reference,
         },
         run_vectorized=run_scheduled,
-        run_reference=run_naive,
+        run_reference=(
+            run_thread_pool_reference
+            if reference == "thread_pool"
+            else run_naive
+        ),
     )
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -139,7 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--frames", type=_positive_int, default=200,
                        help="number of synthetic requests to serve")
     serve.add_argument("--workers", type=_positive_int, default=2,
-                       help="warm-session worker threads (default 2)")
+                       help="warm-session workers per server/shard (default 2)")
+    serve.add_argument(
+        "--execution", choices=("thread", "process"), default="thread",
+        help="run workers as threads or as fork-spawned processes with "
+             "shared-memory batch transport (default thread)",
+    )
+    serve.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="consistent-hash shard count; >1 routes requests across N "
+             "in-process FrameServer shards (default 1)",
+    )
     serve.add_argument(
         "--sampler", choices=registry.available("sampler"), default="ois"
     )
@@ -281,9 +292,19 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.serving import (
         FrameServer,
         QueueFull,
+        ShardRouter,
         response_signature,
         signatures_equal,
     )
+    from repro.serving.cluster import TransportError, shared_memory_available
+
+    if args.execution == "process" and not shared_memory_available():
+        print(
+            "error: --execution process needs multiprocessing.shared_memory, "
+            "which is unavailable on this platform; use --execution thread",
+            file=sys.stderr,
+        )
+        return 2
 
     task = _DATASET_TASKS[args.dataset]
     source = registry.create(
@@ -336,23 +357,37 @@ def _run_serve(args: argparse.Namespace) -> int:
     else:
         arrivals = np.zeros(len(requests))
 
-    server = FrameServer(
+    endpoint_options = dict(
         session_factory=lambda: Session(**session_options),
         num_workers=args.workers,
+        execution=args.execution,
         max_batch_size=args.max_batch,
         max_wait_seconds=args.max_wait_ms / 1e3,
         queue_capacity=args.queue_capacity or len(requests),
     )
+    router: Optional[ShardRouter] = None
+    if args.shards > 1:
+        endpoint = router = ShardRouter(
+            num_shards=args.shards, name="serve", **endpoint_options
+        )
+    else:
+        endpoint = FrameServer(**endpoint_options)
+    try:
+        endpoint.start()
+    except TransportError as exc:
+        # E.g. no fork start method: refuse cleanly instead of half-starting.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     futures = []
     responses: List[Optional[object]] = []
-    with server:
+    with endpoint:
         start = time.perf_counter()
         for request, arrival in zip(requests, arrivals):
             delay = start + arrival - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
             try:
-                futures.append(server.submit(request))
+                futures.append(endpoint.submit(request))
             except QueueFull:
                 futures.append(None)
         for i, future in enumerate(futures):
@@ -366,7 +401,25 @@ def _run_serve(args: argparse.Namespace) -> int:
                 failures.append(f"request {i}: future failed: {exc!r}")
                 responses.append(None)
         wall_seconds = time.perf_counter() - start
-    metrics = server.metrics.snapshot()
+    if router is not None:
+        merged = router.stats()
+        shard_reports = {
+            shard_name: {
+                "metrics": merged["shards"][shard_name],
+                "workers": router.shards[shard_name].worker_stats(),
+            }
+            for shard_name in router.shards
+        }
+        metrics = {key: value for key, value in merged.items() if key != "shards"}
+        worker_stats = [
+            stats
+            for shard_name in sorted(shard_reports)
+            for stats in shard_reports[shard_name]["workers"]
+        ]
+    else:
+        metrics = endpoint.metrics.snapshot()
+        shard_reports = None
+        worker_stats = endpoint.worker_stats()
 
     # -- soak gates ------------------------------------------------------
     counts = metrics["requests"]
@@ -423,6 +476,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             "task": task,
             "frames": args.frames,
             "workers": args.workers,
+            "execution": args.execution,
+            "shards": args.shards,
             "sampler": args.sampler,
             "accelerator": args.accelerator,
             "rate_hz": args.rate_hz,
@@ -436,13 +491,30 @@ def _run_serve(args: argparse.Namespace) -> int:
         },
         "checks": {"passed": not failures, "failures": failures},
         "metrics": metrics,
-        "workers": [s.stats() for s in server.sessions],
+        "workers": worker_stats,
     }
+    if shard_reports is not None:
+        report["shards"] = shard_reports
     args.metrics_out.write_text(json.dumps(report, indent=2) + "\n")
+    shard_paths: List[Path] = []
+    if shard_reports is not None:
+        for index, shard_name in enumerate(sorted(shard_reports)):
+            path = args.metrics_out.with_name(
+                f"{args.metrics_out.stem}-shard{index}{args.metrics_out.suffix}"
+            )
+            path.write_text(
+                json.dumps(
+                    {"shard": shard_name, **shard_reports[shard_name]},
+                    indent=2,
+                )
+                + "\n"
+            )
+            shard_paths.append(path)
 
     batches = metrics["batches"]
     rows = [
         ["requests served", f"{counts['completed']}/{len(requests)}"],
+        ["execution x shards", f"{args.execution} x {args.shards}"],
         ["workers x max-batch", f"{args.workers} x {args.max_batch}"],
         ["micro-batches", f"{batches['count']} "
          f"(mean occupancy {batches['mean_occupancy']:.2f})"],
@@ -467,6 +539,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         )
     )
     print(f"wrote {args.metrics_out}")
+    for path in shard_paths:
+        print(f"wrote {path}")
     if failures:
         print("\nserving soak FAILED:")
         for failure in failures:

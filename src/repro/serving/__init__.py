@@ -13,6 +13,13 @@ The subsystem is three small pieces wired together by
 * :class:`~repro.serving.metrics.ServingMetrics` -- per-request records and
   p50/p95/p99 queue-wait/latency percentiles.
 
+Execution is pluggable: ``FrameServer(execution="thread")`` runs warm
+sessions on worker threads, ``execution="process"`` on fork-spawned worker
+processes with shared-memory batch transport, and
+:class:`~repro.serving.cluster.router.ShardRouter` places requests on N
+in-process servers via consistent hashing -- see
+:mod:`repro.serving.cluster`.
+
 ``Session.submit`` is the one-liner entry point (a single-worker server
 wrapped around the session itself); build a :class:`FrameServer` directly
 for multi-worker pools.
@@ -35,6 +42,13 @@ from repro.serving.server import (
     response_signature,
     signatures_equal,
 )
+from repro.serving.cluster import (
+    ProcessWorkerPool,
+    ShardRouter,
+    ThreadWorkerPool,
+    WorkerCrashed,
+    WorkerError,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -42,11 +56,16 @@ __all__ = [
     "ManualClock",
     "MicroBatch",
     "MicroBatchScheduler",
+    "ProcessWorkerPool",
     "QueueClosed",
     "QueueFull",
     "QueuedRequest",
     "RequestRecord",
     "ServingMetrics",
+    "ShardRouter",
+    "ThreadWorkerPool",
+    "WorkerCrashed",
+    "WorkerError",
     "response_signature",
     "signatures_equal",
 ]

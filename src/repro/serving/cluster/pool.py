@@ -1,0 +1,672 @@
+"""Worker pools: thread workers and process workers behind one contract.
+
+A :class:`WorkerPool` is the execution half of a
+:class:`~repro.serving.server.FrameServer`: the server's scheduler thread
+forms micro-batches and hands them to ``pool.dispatch``; the pool runs each
+batch on a warm :class:`~repro.session.Session` and resolves the
+per-request futures in admission order.  The life cycle is::
+
+    pool.start()            # build sessions / spawn workers
+    pool.dispatch(batch)*   # scheduler thread, any number of times
+    pool.end_of_stream()    # no more batches will ever arrive (idempotent)
+    pool.join(timeout)      # wait for every dispatched batch + worker exit
+
+:class:`ThreadWorkerPool` is PR 5's worker threads extracted behind the
+contract: one warm session per thread, batches over a stdlib queue,
+``None`` sentinels at end of stream.
+
+:class:`ProcessWorkerPool` runs the same contract across **fork**-spawned
+worker processes, each owning a warm session built *in the child* (the
+factory closure rides the fork, nothing is pickled).  Micro-batches travel
+as shared-memory messages (:mod:`repro.serving.cluster.transport`):
+
+* the parent encodes a batch's requests into a ``repro-req-{pid}-{w}-{b}``
+  segment and enqueues the tiny message on worker ``w``'s request queue;
+* the child decodes (copying out of the segment), runs ``run_batch``, and
+  ships the responses back in a ``repro-resp-{childpid}-{b}`` segment on
+  the shared response queue, with its latest ``session.stats()`` riding
+  along;
+* a collector thread in the parent decodes the responses, resolves the
+  futures, **acks** the batch back to the child (which then unlinks its
+  response segment), and unlinks the request segment it created itself.
+
+Segments are thus always unlinked by their creator, and never before the
+receiver has copied the bytes out.  The deterministic names make crash
+cleanup possible: when a child dies, the parent can attach-and-unlink the
+response segments the corpse may have left behind.
+
+Routing is **shape-key affine**: the first batch of a warm-shape key picks
+the worker with the fewest assigned keys (ties to the lowest index) and
+the key sticks, so each process accumulates a small warm set instead of
+every process warming every shape.
+
+Crash semantics: the collector polls the response queue with a short
+timeout and sweeps ``process.is_alive()`` between polls.  A dead worker
+fails exactly its in-flight batches' futures with :class:`WorkerCrashed`
+(descriptive: worker name, pid, exit code), reclaims their segments, and
+is respawned with a fresh process and request queue -- unless the pool is
+already draining, in which case the slot is simply retired.  The server
+keeps serving and still drains cleanly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import queue as _stdlib_queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.serving.cluster.transport import (
+    SharedMemoryArena,
+    TransportError,
+    decode_payload,
+    decode_requests,
+    encode_payload,
+    encode_requests,
+    shared_memory_available,
+)
+from repro.serving.metrics import Clock, RequestRecord, ServingMetrics
+from repro.serving.scheduler import MicroBatch
+from repro.session import Session
+
+#: Collector poll interval; also the crash-sweep cadence.
+_POLL_SECONDS = 0.05
+
+#: How long a draining child waits for outstanding response-segment acks.
+_ACK_WAIT_SECONDS = 5.0
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died while its batches were in flight."""
+
+
+class WorkerError(RuntimeError):
+    """A worker raised while serving a batch (re-raised in the parent)."""
+
+
+class WorkerPool:
+    """Shared contract + completion logic for the execution pools."""
+
+    def __init__(
+        self,
+        session_factory: Callable[[], Session],
+        num_workers: int,
+        metrics: ServingMetrics,
+        clock: Clock,
+        name: str,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.session_factory = session_factory
+        self.num_workers = int(num_workers)
+        self.metrics = metrics
+        self.clock = clock
+        self.name = name
+
+    # -- contract --------------------------------------------------------
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def dispatch(self, batch: MicroBatch) -> None:
+        raise NotImplementedError
+
+    def end_of_stream(self) -> None:
+        raise NotImplementedError
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        raise NotImplementedError
+
+    def shape_key(self, cloud) -> Tuple[Any, ...]:
+        raise NotImplementedError
+
+    def worker_stats(self) -> List[dict]:
+        raise NotImplementedError
+
+    def default_batch_rows_budget(self) -> Optional[int]:
+        """The sessions' own rows budget (scheduler default)."""
+        raise NotImplementedError
+
+    # -- shared completion path ------------------------------------------
+    def _complete_batch(
+        self,
+        batch: MicroBatch,
+        dispatched_at: float,
+        completed_at: float,
+        responses: Optional[List[Any]],
+        error: Optional[BaseException],
+        worker_name: str,
+    ) -> None:
+        """Resolve a batch's futures in admission order and record metrics."""
+        if responses is None:
+            responses = [None] * len(batch.entries)
+        for entry, response in zip(batch.entries, responses):
+            completion_index = self.metrics.next_completion_index()
+            if entry.future.set_running_or_notify_cancel():
+                if error is None:
+                    entry.future.set_result(response)
+                else:
+                    entry.future.set_exception(error)
+            self.metrics.record(
+                RequestRecord(
+                    sequence=entry.sequence,
+                    frame_id=entry.request.frame_id,
+                    enqueued_at=entry.enqueued_at,
+                    dispatched_at=dispatched_at,
+                    completed_at=completed_at,
+                    completion_index=completion_index,
+                    batch_id=batch.batch_id,
+                    batch_size=len(batch.entries),
+                    trigger=batch.trigger,
+                    worker=worker_name,
+                    ok=error is None,
+                )
+            )
+
+
+class ThreadWorkerPool(WorkerPool):
+    """PR 5's warm-session worker threads behind the pool contract."""
+
+    def __init__(
+        self,
+        session_factory: Callable[[], Session],
+        num_workers: int,
+        metrics: ServingMetrics,
+        clock: Clock,
+        name: str,
+    ):
+        super().__init__(session_factory, num_workers, metrics, clock, name)
+        self.sessions: List[Session] = []
+        self._dispatch: "_stdlib_queue.Queue[Optional[MicroBatch]]" = (
+            _stdlib_queue.Queue()
+        )
+        self._threads: List[threading.Thread] = []
+        self._eos = False
+        self._eos_lock = threading.Lock()
+
+    def start(self) -> None:
+        self.sessions = [self.session_factory() for _ in range(self.num_workers)]
+        if len(set(map(id, self.sessions))) != len(self.sessions):
+            raise ValueError(
+                "session_factory must build a distinct Session per worker"
+            )
+        for worker_index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(worker_index,),
+                name=f"{self.name}-worker-{worker_index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def dispatch(self, batch: MicroBatch) -> None:
+        self._dispatch.put(batch)
+
+    def end_of_stream(self) -> None:
+        with self._eos_lock:
+            if self._eos:
+                return
+            self._eos = True
+        for _ in range(self.num_workers):
+            self._dispatch.put(None)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def shape_key(self, cloud) -> Tuple[Any, ...]:
+        return self.sessions[0].shape_key(cloud)
+
+    def worker_stats(self) -> List[dict]:
+        return [session.stats() for session in self.sessions]
+
+    def default_batch_rows_budget(self) -> Optional[int]:
+        return self.sessions[0].batch_rows_budget
+
+    def _worker_loop(self, worker_index: int) -> None:
+        session = self.sessions[worker_index]
+        worker_name = f"{self.name}-worker-{worker_index}"
+        while True:
+            batch = self._dispatch.get()
+            if batch is None:
+                break
+            dispatched_at = self.clock()
+            for entry in batch.entries:
+                entry.dispatched_at = dispatched_at
+            try:
+                result = session.run_batch(
+                    [entry.request for entry in batch.entries]
+                )
+                responses: Optional[List[Any]] = list(result.responses)
+                error: Optional[BaseException] = None
+            except Exception as exc:  # resolve futures, keep serving
+                responses, error = None, exc
+            self._complete_batch(
+                batch, dispatched_at, self.clock(), responses, error, worker_name
+            )
+
+
+# ----------------------------------------------------------------------
+# Process pool
+# ----------------------------------------------------------------------
+def _request_segment_name(parent_pid: int, worker_index: int, batch_id: int) -> str:
+    return f"repro-req-{parent_pid}-{worker_index}-{batch_id}"
+
+
+def _response_segment_name(child_pid: int, batch_id: int) -> str:
+    return f"repro-resp-{child_pid}-{batch_id}"
+
+
+def _process_worker_main(
+    worker_index: int,
+    session_factory: Callable[[], Session],
+    request_queue,
+    response_queue,
+    force_inline: bool,
+    ack_wait_seconds: float,
+) -> None:
+    """Child entry point: warm session, serve batches until ``stop``."""
+    session = session_factory()
+    arena = SharedMemoryArena(prefix=f"repro-resp-{os.getpid()}")
+    unacked: Dict[int, str] = {}
+
+    def _apply_ack(batch_id: int) -> None:
+        segment = unacked.pop(batch_id, None)
+        if segment is not None:
+            arena.release(segment)
+
+    try:
+        while True:
+            message = request_queue.get()
+            kind = message[0]
+            if kind == "ack":
+                _apply_ack(message[1])
+            elif kind == "batch":
+                _, batch_id, wire = message
+                try:
+                    requests = decode_requests(wire)
+                    result = session.run_batch(requests)
+                    payload: Dict[str, Any] = {
+                        "responses": list(result.responses),
+                        "error": None,
+                    }
+                except Exception as exc:
+                    payload = {
+                        "responses": None,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                out = encode_payload(
+                    payload,
+                    arena=arena,
+                    segment_name=_response_segment_name(os.getpid(), batch_id),
+                    force_inline=force_inline,
+                )
+                if out.segment is not None:
+                    unacked[batch_id] = out.segment
+                response_queue.put(
+                    ("result", worker_index, batch_id, out, session.stats())
+                )
+            elif kind == "stop":
+                # Hold un-acked response segments until the parent has
+                # copied them out (it acks each one); bounded wait so a
+                # vanished parent cannot wedge the child.
+                deadline = time.monotonic() + ack_wait_seconds
+                while unacked and time.monotonic() < deadline:
+                    try:
+                        message = request_queue.get(timeout=0.1)
+                    except _stdlib_queue.Empty:
+                        continue
+                    if message[0] == "ack":
+                        _apply_ack(message[1])
+                response_queue.put(("bye", worker_index, session.stats()))
+                break
+    finally:
+        arena.release_all()
+
+
+@dataclasses.dataclass
+class _WorkerHandle:
+    """Parent-side view of one worker process slot."""
+
+    index: int
+    generation: int
+    process: Any
+    request_queue: Any
+    #: True once the worker said "bye" or was declared dead.
+    done: bool = False
+
+
+@dataclasses.dataclass
+class _InFlight:
+    """A dispatched batch the parent is waiting on."""
+
+    batch: MicroBatch
+    worker_index: int
+    generation: int
+    dispatched_at: float
+    #: Request segment name (parent-owned), None on the inline path.
+    segment: Optional[str]
+
+
+class ProcessWorkerPool(WorkerPool):
+    """Warm-session worker *processes* with shared-memory batch transport.
+
+    Requires the ``fork`` start method (session factories are ordinary
+    closures; fork inherits them, nothing crosses a pickle boundary except
+    the transport messages).  Raises :class:`TransportError` where fork is
+    unavailable.  When :mod:`multiprocessing.shared_memory` is missing (or
+    ``force_inline`` is set) the transport carries the bytes inline through
+    the queues -- slower, byte-identical.
+    """
+
+    def __init__(
+        self,
+        session_factory: Callable[[], Session],
+        num_workers: int,
+        metrics: ServingMetrics,
+        clock: Clock,
+        name: str,
+        force_inline: bool = False,
+        ack_wait_seconds: float = _ACK_WAIT_SECONDS,
+    ):
+        super().__init__(session_factory, num_workers, metrics, clock, name)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise TransportError(
+                "ProcessWorkerPool needs the 'fork' start method, which is "
+                "unavailable on this platform; use execution='thread'"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        self._force_inline = bool(force_inline) or not shared_memory_available()
+        self._ack_wait_seconds = ack_wait_seconds
+        self._arena = SharedMemoryArena(prefix=f"repro-req-{os.getpid()}")
+        self._probe: Optional[Session] = None
+        self._workers: List[_WorkerHandle] = []
+        self._response_queue = None
+        self._collector: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._in_flight: Dict[int, _InFlight] = {}
+        self._affinity: Dict[Any, int] = {}
+        self._latest_stats: List[Optional[dict]] = []
+        self._eos = False
+        self._all_done = threading.Event()
+        #: Number of crash-recovery respawns performed (observable in tests).
+        self.respawns = 0
+
+    # -- life cycle ------------------------------------------------------
+    def start(self) -> None:
+        # The probe session never runs a frame; it answers shape_key()
+        # queries in the parent (warm state lives in the children).
+        self._probe = self.session_factory()
+        self._latest_stats = [None] * self.num_workers
+        if not self._force_inline:
+            # Start the shm resource tracker *before* forking so parent and
+            # children share one tracker process.  With a single tracker,
+            # the creator-registers/attacher-registers/creator-unregisters
+            # traffic collapses cleanly in its set-based cache; with one
+            # tracker per process (the lazy default) each sees an
+            # unbalanced half and warns about already-unlinked "leaks".
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:
+                pass
+        self._response_queue = self._ctx.Queue()
+        # Spawn before any dispatching threads exist so the forks do not
+        # duplicate a thread holding a lock.
+        self._workers = [
+            self._spawn(index, generation=0) for index in range(self.num_workers)
+        ]
+        self._collector = threading.Thread(
+            target=self._collector_loop,
+            name=f"{self.name}-collector",
+            daemon=True,
+        )
+        self._collector.start()
+
+    def _spawn(self, index: int, generation: int) -> _WorkerHandle:
+        request_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_process_worker_main,
+            args=(
+                index,
+                self.session_factory,
+                request_queue,
+                self._response_queue,
+                self._force_inline,
+                self._ack_wait_seconds,
+            ),
+            name=f"{self.name}-proc-{index}",
+            daemon=True,
+        )
+        process.start()
+        return _WorkerHandle(
+            index=index,
+            generation=generation,
+            process=process,
+            request_queue=request_queue,
+        )
+
+    def dispatch(self, batch: MicroBatch) -> None:
+        worker_index = self._route(batch.key)
+        dispatched_at = self.clock()
+        for entry in batch.entries:
+            entry.dispatched_at = dispatched_at
+        wire = encode_requests(
+            [entry.request for entry in batch.entries],
+            arena=self._arena,
+            segment_name=_request_segment_name(
+                os.getpid(), worker_index, batch.batch_id
+            ),
+            force_inline=self._force_inline,
+        )
+        # Handle lookup, in-flight registration, and the enqueue happen
+        # under one lock so a concurrent crash-respawn cannot swap the
+        # handle between the lookup and the put.
+        with self._lock:
+            handle = self._workers[worker_index]
+            self._in_flight[batch.batch_id] = _InFlight(
+                batch=batch,
+                worker_index=worker_index,
+                generation=handle.generation,
+                dispatched_at=dispatched_at,
+                segment=wire.segment,
+            )
+            handle.request_queue.put(("batch", batch.batch_id, wire))
+
+    def _route(self, key: Any) -> int:
+        """Shape-key-affine placement: sticky, least-loaded on first sight."""
+        with self._lock:
+            worker_index = self._affinity.get(key)
+            if worker_index is None:
+                counts = [0] * self.num_workers
+                for assigned in self._affinity.values():
+                    counts[assigned] += 1
+                worker_index = min(
+                    range(self.num_workers), key=lambda i: (counts[i], i)
+                )
+                self._affinity[key] = worker_index
+            return worker_index
+
+    def end_of_stream(self) -> None:
+        with self._lock:
+            if self._eos:
+                return
+            self._eos = True
+            handles = list(self._workers)
+        # Request queues are FIFO, so "stop" lands after every dispatched
+        # batch; draining children still read acks past it.
+        for handle in handles:
+            try:
+                handle.request_queue.put(("stop",))
+            except Exception:
+                pass
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self.end_of_stream()
+        self._all_done.wait(timeout)
+        if self._collector is not None:
+            self._collector.join(timeout)
+        for handle in self._workers:
+            handle.process.join(timeout)
+            if handle.process.is_alive():  # refuse to hang the caller
+                handle.process.terminate()
+                handle.process.join(1.0)
+            try:
+                handle.request_queue.close()
+                handle.request_queue.cancel_join_thread()
+            except Exception:
+                pass
+        if self._response_queue is not None:
+            try:
+                self._response_queue.close()
+                self._response_queue.cancel_join_thread()
+            except Exception:
+                pass
+        self._arena.release_all()
+
+    # -- introspection ---------------------------------------------------
+    def shape_key(self, cloud) -> Tuple[Any, ...]:
+        assert self._probe is not None, "pool not started"
+        return self._probe.shape_key(cloud)
+
+    def worker_stats(self) -> List[dict]:
+        """Latest ``session.stats()`` reported by each worker process."""
+        with self._lock:
+            return [dict(stats) if stats else {} for stats in self._latest_stats]
+
+    def default_batch_rows_budget(self) -> Optional[int]:
+        assert self._probe is not None, "pool not started"
+        return self._probe.batch_rows_budget
+
+    def affinity_map(self) -> Dict[Any, int]:
+        """Warm-shape key -> worker index (snapshot)."""
+        with self._lock:
+            return dict(self._affinity)
+
+    # -- collector thread ------------------------------------------------
+    def _collector_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    message = self._response_queue.get(timeout=_POLL_SECONDS)
+                except _stdlib_queue.Empty:
+                    message = None
+                if message is not None:
+                    if message[0] == "result":
+                        self._handle_result(message)
+                    elif message[0] == "bye":
+                        _, worker_index, stats = message
+                        with self._lock:
+                            self._latest_stats[worker_index] = stats
+                            self._workers[worker_index].done = True
+                self._sweep_crashes()
+                with self._lock:
+                    if (
+                        self._eos
+                        and not self._in_flight
+                        and all(
+                            h.done or not h.process.is_alive()
+                            for h in self._workers
+                        )
+                    ):
+                        break
+        finally:
+            self._all_done.set()
+
+    def _handle_result(self, message: Tuple[Any, ...]) -> None:
+        _, worker_index, batch_id, wire, stats = message
+        with self._lock:
+            info = self._in_flight.pop(batch_id, None)
+            self._latest_stats[worker_index] = stats
+            handle = self._workers[worker_index]
+        worker_name = f"{self.name}-proc-{worker_index}"
+        responses: Optional[List[Any]] = None
+        error: Optional[BaseException] = None
+        try:
+            payload = decode_payload(wire)
+        except TransportError as exc:
+            error = WorkerError(
+                f"{worker_name}: response transport failed: {exc}"
+            )
+        else:
+            if payload["error"] is not None:
+                error = WorkerError(f"{worker_name}: {payload['error']}")
+            else:
+                responses = payload["responses"]
+        # Ack so the child can unlink its response segment; reclaim the
+        # request segment this side created.
+        try:
+            handle.request_queue.put(("ack", batch_id))
+        except Exception:
+            pass
+        if info is not None:
+            if info.segment is not None:
+                self._arena.release(info.segment)
+            self._complete_batch(
+                info.batch,
+                info.dispatched_at,
+                self.clock(),
+                responses,
+                error,
+                worker_name,
+            )
+        elif wire.segment is not None:
+            # Result for a batch the crash sweep already failed (the
+            # worker responded and died before we noticed): reclaim the
+            # orphaned response segment.
+            self._arena.release(wire.segment)
+
+    def _sweep_crashes(self) -> None:
+        casualties: List[Tuple[_WorkerHandle, List[Tuple[int, _InFlight]]]] = []
+        with self._lock:
+            for slot, handle in enumerate(list(self._workers)):
+                if handle.done or handle.process.is_alive():
+                    continue
+                handle.done = True
+                batches: List[Tuple[int, _InFlight]] = []
+                for batch_id, info in list(self._in_flight.items()):
+                    if (
+                        info.worker_index == handle.index
+                        and info.generation == handle.generation
+                    ):
+                        del self._in_flight[batch_id]
+                        batches.append((batch_id, info))
+                if not self._eos:
+                    # Replace the handle inside this same critical section:
+                    # dispatch() reads the handle and registers in-flight
+                    # under the lock, so a batch can never be enqueued on
+                    # the dead worker's queue after its casualties were
+                    # collected (it either lands in `batches` above or on
+                    # the fresh replacement).
+                    self._workers[slot] = self._spawn(
+                        handle.index, generation=handle.generation + 1
+                    )
+                    self.respawns += 1
+                casualties.append((handle, batches))
+        for handle, batches in casualties:
+            worker_name = f"{self.name}-proc-{handle.index}"
+            pid = handle.process.pid
+            error = WorkerCrashed(
+                f"worker process {worker_name} (pid {pid}) died with exit "
+                f"code {handle.process.exitcode} while {len(batches)} "
+                f"batch(es) were in flight"
+            )
+            for batch_id, info in batches:
+                if info.segment is not None:
+                    self._arena.release(info.segment)
+                if pid is not None:
+                    # Best-effort reclaim of a response segment the corpse
+                    # may have created for this batch.
+                    self._arena.release(_response_segment_name(pid, batch_id))
+                self._complete_batch(
+                    info.batch,
+                    info.dispatched_at,
+                    self.clock(),
+                    None,
+                    error,
+                    worker_name,
+                )

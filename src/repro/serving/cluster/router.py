@@ -1,0 +1,265 @@
+"""Consistent-hash routing across N in-process ``FrameServer`` shards.
+
+A :class:`ShardRouter` is the single-box version of a serving cluster:
+``num_shards`` independent :class:`~repro.serving.server.FrameServer`
+instances (each with its own admission queue, scheduler, and worker pool)
+behind one ``submit``.  Placement hashes the request's **warm-shape key**
+-- the same ``(task, sampled_size, feature_channels)`` tuple the
+micro-batch scheduler groups on -- so all frames of one shape land on one
+shard and that shard's workers stay warm for it, while distinct shapes
+spread across shards.
+
+The hash is a classic consistent-hash ring (:class:`HashRing`): each shard
+contributes ``replicas`` virtual points placed by SHA-1 (Python's builtin
+``hash`` is salted per process and would re-deal the ring every run);
+lookups take the first point clockwise from the key's hash.  Removing a
+shard therefore only re-homes the keys that pointed at it -- the rest of
+the ring is untouched, which is what makes :meth:`remove_shard`
+*drain-aware*: the ring drops the shard first (new submissions rebalance
+immediately), then the shard drains its already-admitted requests to
+completion before its snapshot is returned.
+
+Observability: :meth:`metrics` merges the per-shard
+:class:`~repro.serving.metrics.ServingMetrics` into one view via
+``ServingMetrics.merge`` (batch ids and completion indices re-keyed per
+source so the per-batch future-ordering check survives), and
+:meth:`shard_health` reports per-shard liveness and stats.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import hashlib
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.serving.metrics import Clock, ServingMetrics
+from repro.session import FrameLike, FrameRequest, Session
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.serving.server import FrameServer
+
+#: Virtual ring points per shard; 64 keeps the key spread within a few
+#: percent of uniform without making ring edits noticeable.
+DEFAULT_REPLICAS = 64
+
+
+def _ring_hash(data: str) -> int:
+    """Stable 64-bit ring position (SHA-1; ``hash()`` is per-process salted)."""
+    return int.from_bytes(hashlib.sha1(data.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring of named nodes with virtual replicas."""
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._points: List[Tuple[int, str]] = []
+        self._names: set = set()
+
+    def add(self, name: str) -> None:
+        if name in self._names:
+            raise ValueError(f"ring already contains {name!r}")
+        self._names.add(name)
+        for i in range(self.replicas):
+            bisect.insort(self._points, (_ring_hash(f"{name}#{i}"), name))
+
+    def remove(self, name: str) -> None:
+        if name not in self._names:
+            raise KeyError(name)
+        self._names.discard(name)
+        self._points = [p for p in self._points if p[1] != name]
+
+    def locate(self, key: Any) -> str:
+        """Name owning ``key``: first ring point clockwise from its hash."""
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        position = _ring_hash(repr(key))
+        index = bisect.bisect_right(self._points, (position, ""))
+        if index == len(self._points):  # wrap past the top of the ring
+            index = 0
+        return self._points[index][1]
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+
+class ShardRouter:
+    """N in-process FrameServer shards behind one consistent-hash submit.
+
+    Constructor parameters mirror :class:`FrameServer` -- each shard is
+    built with the same ``session_factory`` and serving knobs, under the
+    name ``{name}-shard-{i}``.
+    """
+
+    def __init__(
+        self,
+        session_factory: Callable[[], Session],
+        num_shards: int = 2,
+        num_workers: int = 1,
+        execution: str = "thread",
+        max_batch_size: int = 8,
+        max_wait_seconds: float = 0.005,
+        queue_capacity: int = 256,
+        batch_rows_budget: Optional[int] = None,
+        clock: Clock = time.monotonic,
+        name: str = "router",
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        from repro.serving.server import FrameServer
+
+        self.session_factory = session_factory
+        self.num_shards = int(num_shards)
+        self.name = name
+        self.clock = clock
+        self.shards: Dict[str, "FrameServer"] = {}
+        for i in range(self.num_shards):
+            shard_name = f"{name}-shard-{i}"
+            self.shards[shard_name] = FrameServer(
+                session_factory=session_factory,
+                num_workers=num_workers,
+                execution=execution,
+                max_batch_size=max_batch_size,
+                max_wait_seconds=max_wait_seconds,
+                queue_capacity=queue_capacity,
+                batch_rows_budget=batch_rows_budget,
+                clock=clock,
+                name=shard_name,
+            )
+        self._ring = HashRing(replicas=replicas)
+        self._probe: Optional[Session] = None
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+        self._removed: Dict[str, dict] = {}
+        self._started = False
+        self._stopped = False
+
+    # -- life cycle ------------------------------------------------------
+    def start(self) -> "ShardRouter":
+        with self._lock:
+            if self._started:
+                return self
+            if self._stopped:
+                raise RuntimeError("ShardRouter cannot be restarted")
+            self._probe = self.session_factory()
+            self._started = True
+        for shard_name, shard in self.shards.items():
+            shard.start()
+            self._ring.add(shard_name)
+        return self
+
+    def __enter__(self) -> "ShardRouter":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> dict:
+        """Shut every live shard down; returns the merged final stats."""
+        with self._lock:
+            self._stopped = True
+            live = [n for n in self.shards if n not in self._removed]
+        for shard_name in live:
+            self.shards[shard_name].shutdown(drain=drain, timeout=timeout)
+            with self._lock:
+                if shard_name in self._ring:
+                    self._ring.remove(shard_name)
+        return self.stats()
+
+    # -- request entry ---------------------------------------------------
+    def route(self, frame: FrameLike) -> str:
+        """Shard name that would serve ``frame`` (no submission)."""
+        request = FrameRequest.coerce(frame)
+        assert self._probe is not None, "router not started"
+        key = self._probe.shape_key(request.cloud)
+        with self._lock:
+            return self._ring.locate(key)
+
+    def submit(
+        self,
+        frame: FrameLike,
+        frame_id: Optional[str] = None,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ):
+        """Admit one frame on its consistent-hash shard; returns a future."""
+        if not self._started:
+            self.start()
+        request = FrameRequest.coerce(frame, index=next(self._counter))
+        if frame_id is not None:
+            request = dataclasses.replace(request, frame_id=frame_id)
+        assert self._probe is not None
+        key = self._probe.shape_key(request.cloud)
+        with self._lock:
+            shard_name = self._ring.locate(key)
+        return self.shards[shard_name].submit(
+            request, block=block, timeout=timeout
+        )
+
+    # -- membership ------------------------------------------------------
+    def remove_shard(self, shard_name: str, drain: bool = True) -> dict:
+        """Retire one shard: re-home its keys, drain it, return its stats.
+
+        The ring entry is dropped *before* the drain, so submissions
+        arriving mid-drain already rebalance to the surviving shards while
+        the retiring shard completes everything it had admitted.
+        """
+        with self._lock:
+            if shard_name not in self.shards:
+                raise KeyError(shard_name)
+            if shard_name in self._removed:
+                return dict(self._removed[shard_name])
+            if shard_name in self._ring:
+                self._ring.remove(shard_name)
+        snapshot = self.shards[shard_name].shutdown(drain=drain)
+        with self._lock:
+            self._removed[shard_name] = snapshot
+        return snapshot
+
+    @property
+    def active_shards(self) -> List[str]:
+        with self._lock:
+            return self._ring.names
+
+    # -- observability ---------------------------------------------------
+    def metrics(self) -> ServingMetrics:
+        """Merged ServingMetrics across every shard (removed ones included)."""
+        return ServingMetrics.merge(
+            [shard.metrics for shard in self.shards.values()]
+        )
+
+    def shard_health(self) -> Dict[str, dict]:
+        """Per-shard liveness and live stats snapshot."""
+        health: Dict[str, dict] = {}
+        with self._lock:
+            removed = set(self._removed)
+        for shard_name, shard in self.shards.items():
+            health[shard_name] = {
+                "running": shard.running,
+                "removed": shard_name in removed,
+                "stats": shard.stats(),
+            }
+        return health
+
+    def stats(self) -> dict:
+        """Merged snapshot plus a per-shard breakdown."""
+        merged = self.metrics().snapshot()
+        merged["shards"] = {
+            shard_name: shard.stats()
+            for shard_name, shard in self.shards.items()
+        }
+        return merged

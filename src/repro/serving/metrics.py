@@ -16,7 +16,7 @@ pipeline with a manual clock gets exactly reproducible percentiles.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -126,6 +126,46 @@ class ServingMetrics:
     def records(self) -> List[RequestRecord]:
         with self._lock:
             return list(self._records)
+
+    @classmethod
+    def merge(cls, sources: Sequence["ServingMetrics"]) -> "ServingMetrics":
+        """One metrics view over several independent sources (e.g. shards).
+
+        Counters are summed.  Batch ids and completion indices are re-keyed
+        with per-source offsets -- sources number both from zero, so a
+        naive concatenation would alias batch 0 of shard A with batch 0 of
+        shard B and break the per-batch :meth:`futures_monotonic` check.
+        Relative order *within* each source is preserved exactly.
+        """
+        merged = cls()
+        batch_offset = 0
+        completion_offset = 0
+        for source in sources:
+            with source._lock:
+                records = list(source._records)
+                submitted = source._submitted
+                rejected = source._rejected
+                cancelled = source._cancelled
+                completions = source._completion_counter
+            merged._submitted += submitted
+            merged._rejected += rejected
+            merged._cancelled += cancelled
+            max_batch_id = -1
+            for record in records:
+                max_batch_id = max(max_batch_id, record.batch_id)
+                merged._records.append(
+                    replace(
+                        record,
+                        batch_id=record.batch_id + batch_offset,
+                        completion_index=(
+                            record.completion_index + completion_offset
+                        ),
+                    )
+                )
+            batch_offset += max_batch_id + 1
+            completion_offset += completions
+        merged._completion_counter = completion_offset
+        return merged
 
     def futures_monotonic(self) -> bool:
         """Whether resolution order follows admission order within batches.

@@ -7,53 +7,66 @@
 * a scheduler thread moves admitted requests into the
   :class:`~repro.serving.scheduler.MicroBatchScheduler` and dispatches the
   micro-batches it forms;
-* ``num_workers`` worker threads each own one **warm**
-  :class:`~repro.session.Session` (built by ``session_factory``) and drain
-  dispatched batches through the existing bit-identical
-  :meth:`~repro.session.Session.run_batch` path, resolving the per-request
-  futures in admission order.
+* a :class:`~repro.serving.cluster.pool.WorkerPool` executes the batches
+  on warm :class:`~repro.session.Session` instances and resolves the
+  per-request futures in admission order.  ``execution="thread"`` (the
+  default) runs ``num_workers`` worker threads, each owning one warm
+  session built by ``session_factory``; ``execution="process"`` runs the
+  same contract across fork-spawned worker processes with shared-memory
+  batch transport (:class:`~repro.serving.cluster.pool.ProcessWorkerPool`)
+  -- real multi-core overlap instead of GIL time-slicing.
 
 Determinism contract: every per-frame computation in the pipeline seeds its
 RNG per call (samplers, gatherers, network layers), so a frame's response
 payload -- logits, sampled indices, gather rows, counters, modelled
 latencies -- depends only on the frame and the session configuration, never
-on which worker served it or which companions shared its micro-batch.
-:func:`response_signature` captures exactly that order-invariant payload;
-the soak gate and the serving benchmarks compare it against a sequential
-:meth:`Session.run_batch` run.  What *does* depend on scheduling is the
-warm/cached flags and any per-worker response cache, which is why
-signatures exclude them and serving sessions are normally built with
-``response_cache_size=0``.
+on which worker served it, which process that worker was, or which
+companions shared its micro-batch.  :func:`response_signature` captures
+exactly that order-invariant payload; the soak gate and the serving
+benchmarks compare it against a sequential :meth:`Session.run_batch` run.
+What *does* depend on scheduling is the warm/cached flags and any
+per-worker response cache, which is why signatures exclude them and serving
+sessions are normally built with ``response_cache_size=0``.
 
 Shutdown is graceful by default: :meth:`shutdown` closes the admission
 queue, the scheduler flushes its pending groups (trigger ``"drain"``), the
-workers finish every dispatched batch, and only then do the threads exit --
+pool finishes every dispatched batch, and only then do the workers exit --
 no admitted request is dropped.  ``drain=False`` cancels instead.
+Shutdown is idempotent and exception-safe: any number of concurrent or
+repeated calls (double shutdown, ``__exit__`` racing an explicit call,
+shutdown after a worker crash) all converge on one drain and return the
+same final snapshot.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
-import queue as _stdlib_queue
 import threading
 import time
 from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.serving.metrics import Clock, RequestRecord, ServingMetrics
+from repro.serving.cluster.pool import (
+    ProcessWorkerPool,
+    ThreadWorkerPool,
+    WorkerPool,
+)
+from repro.serving.metrics import Clock, ServingMetrics
 from repro.serving.queue import (
     AdmissionQueue,
     QueueClosed,
-    QueuedRequest,
     QueueFull,
 )
-from repro.serving.scheduler import MicroBatch, MicroBatchScheduler
+from repro.serving.scheduler import MicroBatchScheduler
 from repro.session import FrameLike, FrameRequest, FrameResponse, Session
 
 #: How long the scheduler sleeps waiting for work when nothing is pending.
 _IDLE_POLL_SECONDS = 0.05
+
+#: Recognised values of ``FrameServer(execution=...)``.
+EXECUTION_MODES = ("thread", "process")
 
 
 def response_signature(response: FrameResponse) -> Tuple[Any, ...]:
@@ -110,7 +123,11 @@ class FrameServer:
         results, build them with identical configs and
         ``response_cache_size=0``.
     num_workers:
-        Worker threads (one warm session each).
+        Worker threads or processes (one warm session each).
+    execution:
+        ``"thread"`` (default) or ``"process"``.  Process workers need the
+        ``fork`` start method; shared memory is used for batch transport
+        when available, with an inline fallback otherwise.
     max_batch_size / max_wait_seconds / batch_rows_budget:
         Micro-batch triggers (see
         :class:`~repro.serving.scheduler.MicroBatchScheduler`).  The rows
@@ -131,24 +148,27 @@ class FrameServer:
         batch_rows_budget: Optional[int] = None,
         clock: Clock = time.monotonic,
         name: str = "serving",
+        execution: str = "thread",
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
+            )
         self.session_factory = session_factory
         self.num_workers = int(num_workers)
+        self.execution = execution
         self.name = name
         self.clock = clock
         self.metrics = ServingMetrics()
         self.admission = AdmissionQueue(capacity=queue_capacity, clock=clock)
-        self.sessions: List[Session] = []
+        self.pool: Optional[WorkerPool] = None
         self._max_batch_size = max_batch_size
         self._max_wait_seconds = max_wait_seconds
         self._batch_rows_budget = batch_rows_budget
         self.scheduler: Optional[MicroBatchScheduler] = None
-        self._dispatch: "_stdlib_queue.Queue[Optional[MicroBatch]]" = (
-            _stdlib_queue.Queue()
-        )
-        self._threads: List[threading.Thread] = []
+        self._scheduler_thread: Optional[threading.Thread] = None
         #: Numbers raw clouds submitted without a frame_id so each gets a
         #: distinct id *within this server*.  The ids are not coordinated
         #: with the synchronous path's frames_processed numbering (and
@@ -156,8 +176,11 @@ class FrameServer:
         #: frame_ids when ids must be stable across paths.
         self._submit_counter = itertools.count()
         self._started = False
+        self._stopping = False
         self._stopped = False
         self._discard = False
+        self._final_snapshot: Optional[dict] = None
+        self._stop_event = threading.Event()
         self._lifecycle_lock = threading.Lock()
 
     # -- life cycle -----------------------------------------------------
@@ -165,39 +188,41 @@ class FrameServer:
         with self._lifecycle_lock:
             if self._started:
                 return self
-            if self._stopped:
+            if self._stopped or self._stopping:
                 raise RuntimeError("FrameServer cannot be restarted")
-            self.sessions = [self.session_factory() for _ in range(self.num_workers)]
-            if len(set(map(id, self.sessions))) != len(self.sessions):
-                raise ValueError(
-                    "session_factory must build a distinct Session per worker"
+            if self.execution == "process":
+                pool: WorkerPool = ProcessWorkerPool(
+                    session_factory=self.session_factory,
+                    num_workers=self.num_workers,
+                    metrics=self.metrics,
+                    clock=self.clock,
+                    name=self.name,
                 )
+            else:
+                pool = ThreadWorkerPool(
+                    session_factory=self.session_factory,
+                    num_workers=self.num_workers,
+                    metrics=self.metrics,
+                    clock=self.clock,
+                    name=self.name,
+                )
+            pool.start()
+            self.pool = pool
             if self._batch_rows_budget is None:
-                self._batch_rows_budget = self.sessions[0].batch_rows_budget
+                self._batch_rows_budget = pool.default_batch_rows_budget()
             self.scheduler = MicroBatchScheduler(
-                shape_key=lambda request: self.sessions[0].shape_key(request.cloud),
+                shape_key=lambda request: pool.shape_key(request.cloud),
                 max_batch_size=self._max_batch_size,
                 max_wait_seconds=self._max_wait_seconds,
                 batch_rows_budget=self._batch_rows_budget,
                 clock=self.clock,
             )
-            scheduler_thread = threading.Thread(
+            self._scheduler_thread = threading.Thread(
                 target=self._scheduler_loop,
                 name=f"{self.name}-scheduler",
                 daemon=True,
             )
-            self._threads.append(scheduler_thread)
-            for worker_index in range(self.num_workers):
-                self._threads.append(
-                    threading.Thread(
-                        target=self._worker_loop,
-                        args=(worker_index,),
-                        name=f"{self.name}-worker-{worker_index}",
-                        daemon=True,
-                    )
-                )
-            for thread in self._threads:
-                thread.start()
+            self._scheduler_thread.start()
             self._started = True
             return self
 
@@ -207,6 +232,20 @@ class FrameServer:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.shutdown(drain=exc_type is None)
 
+    @property
+    def running(self) -> bool:
+        """Started and not (yet) shutting down."""
+        with self._lifecycle_lock:
+            return self._started and not self._stopping and not self._stopped
+
+    @property
+    def sessions(self) -> List[Session]:
+        """The warm sessions of a *thread* pool (empty for process pools,
+        whose sessions live in the worker processes)."""
+        if isinstance(self.pool, ThreadWorkerPool):
+            return self.pool.sessions
+        return []
+
     def shutdown(
         self, drain: bool = True, timeout: Optional[float] = None
     ) -> dict:
@@ -214,18 +253,52 @@ class FrameServer:
 
         ``drain=True`` (the default) completes every admitted request first;
         ``drain=False`` cancels whatever has not been dispatched yet.
+        Idempotent: every call (including concurrent ones) returns the same
+        final snapshot; only the first performs the drain.
         """
         with self._lifecycle_lock:
-            if self._stopped or not self._started:
+            if self._stopped:
+                return (
+                    self._final_snapshot
+                    if self._final_snapshot is not None
+                    else self.metrics.snapshot()
+                )
+            if not self._started and not self._stopping:
+                # Never ran: close the front door and freeze the counters.
                 self._stopped = True
                 self.admission.close()
-                return self.metrics.snapshot()
-            self._discard = not drain
-            self.admission.close()
-            for thread in self._threads:
-                thread.join(timeout)
-            self._stopped = True
-            return self.metrics.snapshot()
+                self._final_snapshot = self.metrics.snapshot()
+                self._stop_event.set()
+                return self._final_snapshot
+            if self._stopping:
+                follower = True
+            else:
+                follower = False
+                self._stopping = True
+                self._discard = not drain
+        if follower:
+            # Another caller owns the drain; wait for it rather than
+            # double-joining the same threads.
+            self._stop_event.wait(timeout)
+            with self._lifecycle_lock:
+                snapshot = self._final_snapshot
+            return snapshot if snapshot is not None else self.metrics.snapshot()
+        self.admission.close()
+        try:
+            if self._scheduler_thread is not None:
+                self._scheduler_thread.join(timeout)
+            if self.pool is not None:
+                self.pool.end_of_stream()
+                self.pool.join(timeout)
+        finally:
+            # Even if a join raised, leave the server in a terminal state
+            # with a snapshot cached for every later caller.
+            snapshot = self.metrics.snapshot()
+            with self._lifecycle_lock:
+                self._stopped = True
+                self._final_snapshot = snapshot
+            self._stop_event.set()
+        return snapshot
 
     # -- request entry ---------------------------------------------------
     def submit(
@@ -265,14 +338,23 @@ class FrameServer:
         """Live metrics snapshot (the server keeps running)."""
         return self.metrics.snapshot()
 
+    def worker_stats(self) -> List[dict]:
+        """Per-worker ``session.stats()`` (live for threads, last-reported
+        for processes)."""
+        if self.pool is None:
+            return []
+        return self.pool.worker_stats()
+
     # -- scheduler thread -------------------------------------------------
     def _scheduler_loop(self) -> None:
         scheduler = self.scheduler
-        assert scheduler is not None
-        # The finally block guarantees the worker sentinels are posted even
-        # if the loop dies on an unexpected exception -- otherwise every
-        # worker would block in dispatch.get() forever and shutdown's
-        # join() would hang the caller.
+        pool = self.pool
+        assert scheduler is not None and pool is not None
+        # The finally block guarantees end_of_stream is signalled even if
+        # the loop dies on an unexpected exception -- otherwise the pool's
+        # workers would wait for batches forever and shutdown's join would
+        # hang the caller.  (end_of_stream is idempotent; shutdown calls it
+        # again.)
         try:
             while True:
                 if self.admission.is_drained():
@@ -284,7 +366,7 @@ class FrameServer:
                                 self.metrics.record_cancelled()
                     else:
                         for batch in final:
-                            self._dispatch.put(batch)
+                            pool.dispatch(batch)
                     break
                 deadline = scheduler.next_deadline()
                 if deadline is None:
@@ -303,51 +385,6 @@ class FrameServer:
                             break
                         scheduler.add(extra)
                 for batch in scheduler.ready():
-                    self._dispatch.put(batch)
+                    pool.dispatch(batch)
         finally:
-            for _ in range(self.num_workers):
-                self._dispatch.put(None)
-
-    # -- worker threads ---------------------------------------------------
-    def _worker_loop(self, worker_index: int) -> None:
-        session = self.sessions[worker_index]
-        worker_name = f"{self.name}-worker-{worker_index}"
-        while True:
-            batch = self._dispatch.get()
-            if batch is None:
-                break
-            dispatched_at = self.clock()
-            for entry in batch.entries:
-                entry.dispatched_at = dispatched_at
-            try:
-                result = session.run_batch(
-                    [entry.request for entry in batch.entries]
-                )
-                responses: List[Optional[FrameResponse]] = list(result.responses)
-                error: Optional[BaseException] = None
-            except Exception as exc:  # resolve futures, keep serving
-                responses = [None] * len(batch.entries)
-                error = exc
-            completed_at = self.clock()
-            for entry, response in zip(batch.entries, responses):
-                completion_index = self.metrics.next_completion_index()
-                if entry.future.set_running_or_notify_cancel():
-                    if error is None:
-                        entry.future.set_result(response)
-                    else:
-                        entry.future.set_exception(error)
-                self.metrics.record(
-                    RequestRecord(
-                        sequence=entry.sequence,
-                        frame_id=entry.request.frame_id,
-                        enqueued_at=entry.enqueued_at,
-                        dispatched_at=dispatched_at,
-                        completed_at=completed_at,
-                        completion_index=completion_index,
-                        batch_id=batch.batch_id,
-                        batch_size=len(batch.entries),
-                        trigger=batch.trigger,
-                        worker=worker_name,
-                        ok=error is None,
-                    )
-                )
+            pool.end_of_stream()

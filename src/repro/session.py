@@ -218,6 +218,20 @@ class Session:
         self._server: Optional[Any] = None
         self._server_lock = threading.Lock()
 
+    # -- pickling --------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Sessions pickle without their live server (threads, futures) or
+        lock; the warm engines and caches travel as-is.  A restored session
+        starts cold on the serving side but warm on the compute side."""
+        state = self.__dict__.copy()
+        state["_server"] = None
+        del state["_server_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._server_lock = threading.Lock()
+
     # -- warm-state introspection --------------------------------------
     @property
     def model_builds(self) -> int:

@@ -1,0 +1,535 @@
+"""Tests for the process-sharded serving subsystem.
+
+Covers the ``ProcessWorkerPool`` behind ``FrameServer(execution="process")``
+(bit-identity with a sequential ``run_batch``, inline-fallback equivalence,
+worker exceptions vs worker crashes, shape-key affinity), the
+consistent-hash ring and ``ShardRouter`` (placement stability, drain-aware
+removal, merged metrics), ``ServingMetrics.merge`` re-keying, and the
+shutdown idempotency guarantees the process pool relies on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    HgPCNConfig,
+    InferenceEngineConfig,
+    PreprocessingConfig,
+)
+from repro.datasets.synthetic import sample_cad_shape
+from repro.serving import (
+    FrameServer,
+    RequestRecord,
+    ServingMetrics,
+    ShardRouter,
+    WorkerCrashed,
+    WorkerError,
+    response_signature,
+    signatures_equal,
+)
+from repro.serving.cluster import transport
+from repro.serving.cluster.pool import ProcessWorkerPool
+from repro.serving.cluster.router import HashRing
+from repro.session import FrameRequest, Session
+
+
+def small_config(num_samples: int = 64) -> HgPCNConfig:
+    return HgPCNConfig(
+        preprocessing=PreprocessingConfig(num_samples=num_samples, seed=0),
+        inference=InferenceEngineConfig(
+            num_centroids=16, neighbors_per_centroid=8, seed=0
+        ),
+    )
+
+
+def make_request(seed: int, points: int = 400) -> FrameRequest:
+    return FrameRequest(
+        cloud=sample_cad_shape(
+            points, shape="box", non_uniformity=0.2, seed=seed
+        ),
+        frame_id=f"req{seed:04d}",
+    )
+
+
+def make_session(**overrides) -> Session:
+    options = dict(
+        config=small_config(),
+        task="semantic_segmentation",
+        sampler="random",
+        response_cache_size=0,
+    )
+    options.update(overrides)
+    return Session(**options)
+
+
+def reference_signatures(requests):
+    session = make_session()
+    return [
+        response_signature(response)
+        for response in session.run_batch(requests).responses
+    ]
+
+
+class CrashingSession(Session):
+    """Hard-exits the worker process on a poison frame (no cleanup)."""
+
+    def run_batch(self, frames, **kwargs):
+        if any(
+            FrameRequest.coerce(f).frame_id == "poison" for f in frames
+        ):
+            os._exit(42)
+        return super().run_batch(frames, **kwargs)
+
+
+class ExplodingSession(Session):
+    """Raises (but survives) on a poison frame."""
+
+    def run_batch(self, frames, **kwargs):
+        if any(
+            FrameRequest.coerce(f).frame_id == "poison" for f in frames
+        ):
+            raise ValueError("refused poison frame")
+        return super().run_batch(frames, **kwargs)
+
+
+def crashing_factory():
+    return CrashingSession(
+        config=small_config(),
+        task="semantic_segmentation",
+        sampler="random",
+        response_cache_size=0,
+    )
+
+
+def exploding_factory():
+    return ExplodingSession(
+        config=small_config(),
+        task="semantic_segmentation",
+        sampler="random",
+        response_cache_size=0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Process execution behind FrameServer
+# ----------------------------------------------------------------------
+class TestProcessExecution:
+    @pytest.mark.parametrize("num_workers", [1, 2, 3])
+    def test_bit_identical_to_sequential_run_batch(self, num_workers):
+        requests = [
+            make_request(i, points=380 + (i % 3) * 40) for i in range(12)
+        ]
+        expected = reference_signatures(requests)
+        with FrameServer(
+            make_session,
+            num_workers=num_workers,
+            execution="process",
+            max_wait_seconds=0.002,
+            name=f"proc{num_workers}",
+        ) as server:
+            futures = [server.submit(request) for request in requests]
+            responses = [future.result(timeout=60) for future in futures]
+        snapshot = server.shutdown()
+        assert snapshot["requests"]["completed"] == len(requests)
+        assert snapshot["requests"]["failed"] == 0
+        assert snapshot["futures_monotonic"]
+        for response, signature in zip(responses, expected):
+            assert signatures_equal(response_signature(response), signature)
+
+    def test_inline_fallback_still_bit_identical(self, monkeypatch):
+        # Children fork after the monkeypatch, so they inherit it too.
+        monkeypatch.setattr(transport, "_shared_memory_module", None)
+        requests = [make_request(i) for i in range(6)]
+        expected = reference_signatures(requests)
+        with FrameServer(
+            make_session,
+            num_workers=2,
+            execution="process",
+            max_wait_seconds=0.002,
+            name="inline",
+        ) as server:
+            assert server.pool._force_inline
+            futures = [server.submit(request) for request in requests]
+            responses = [future.result(timeout=60) for future in futures]
+        for response, signature in zip(responses, expected):
+            assert signatures_equal(response_signature(response), signature)
+
+    def test_worker_exception_fails_batch_but_worker_survives(self):
+        with FrameServer(
+            exploding_factory,
+            num_workers=1,
+            execution="process",
+            max_batch_size=1,
+            max_wait_seconds=0.001,
+            name="explode",
+        ) as server:
+            poison = server.submit(
+                FrameRequest(
+                    cloud=sample_cad_shape(400, shape="box", seed=5),
+                    frame_id="poison",
+                )
+            )
+            with pytest.raises(WorkerError, match="refused poison frame"):
+                poison.result(timeout=60)
+            # Same process keeps serving: no crash, no respawn.
+            ok = server.submit(make_request(1)).result(timeout=60)
+            assert ok.result.frame_id == "req0001"
+            assert server.pool.respawns == 0
+
+    def test_worker_crash_fails_batch_respawns_and_drains(self):
+        server = FrameServer(
+            crashing_factory,
+            num_workers=1,
+            execution="process",
+            max_batch_size=1,
+            max_wait_seconds=0.001,
+            name="crash",
+        ).start()
+        before = server.submit(make_request(0)).result(timeout=60)
+        assert before.result.frame_id == "req0000"
+        poison = server.submit(
+            FrameRequest(
+                cloud=sample_cad_shape(400, shape="box", seed=9),
+                frame_id="poison",
+            )
+        )
+        with pytest.raises(WorkerCrashed, match="exit code 42"):
+            poison.result(timeout=60)
+        # The pool respawned the worker; later requests are served by the
+        # replacement and the server still drains cleanly.
+        after = server.submit(make_request(1)).result(timeout=60)
+        assert after.result.frame_id == "req0001"
+        assert server.pool.respawns == 1
+        snapshot = server.shutdown()
+        assert snapshot["requests"]["completed"] == 2
+        assert snapshot["requests"]["failed"] == 1
+        assert snapshot["requests"]["in_flight"] == 0
+
+    def test_shape_key_affinity_sticks_and_spreads(self):
+        # Sampled size clamps at num_samples, so 16-point clouds key at 16
+        # and 45-point clouds at 24: two distinct warm-shape keys.
+        requests = (
+            [make_request(i, points=16) for i in range(4)]
+            + [make_request(10 + i, points=45) for i in range(4)]
+        )
+        with FrameServer(
+            lambda: make_session(config=small_config(num_samples=24)),
+            num_workers=2,
+            execution="process",
+            max_batch_size=2,
+            max_wait_seconds=0.001,
+            name="affine",
+        ) as server:
+            for request in requests:
+                server.submit(request).result(timeout=60)
+            affinity = server.pool.affinity_map()
+        # Two distinct sampled sizes -> two keys, spread over both workers.
+        assert len(affinity) == 2
+        assert sorted(affinity.values()) == [0, 1]
+        records = server.metrics.records
+        by_key_worker = {
+            (record.batch_size, record.worker) for record in records
+        }
+        # Every record of one shape names one worker (sticky placement).
+        workers = {record.worker for record in records}
+        assert len(workers) == 2
+
+    def test_worker_stats_reported_from_children(self):
+        with FrameServer(
+            make_session,
+            num_workers=2,
+            execution="process",
+            max_wait_seconds=0.002,
+            name="stats",
+        ) as server:
+            futures = [server.submit(make_request(i)) for i in range(6)]
+            for future in futures:
+                future.result(timeout=60)
+            stats = server.worker_stats()
+        assert len(stats) == 2
+        served = sum(s.get("frames_processed", 0) for s in stats)
+        assert served == 6
+
+    def test_process_server_has_no_parent_side_sessions(self):
+        with FrameServer(
+            make_session, num_workers=1, execution="process", name="nosess"
+        ) as server:
+            server.submit(make_request(0)).result(timeout=60)
+            assert server.sessions == []
+
+    def test_invalid_execution_rejected(self):
+        with pytest.raises(ValueError, match="execution"):
+            FrameServer(make_session, execution="coroutine")
+
+
+# ----------------------------------------------------------------------
+# Consistent-hash ring
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_placement_is_deterministic(self):
+        ring_a, ring_b = HashRing(), HashRing()
+        for name in ("s0", "s1", "s2"):
+            ring_a.add(name)
+            ring_b.add(name)
+        keys = [("task", size, 0) for size in range(200)]
+        assert [ring_a.locate(k) for k in keys] == [
+            ring_b.locate(k) for k in keys
+        ]
+
+    def test_removal_only_rehomes_the_removed_nodes_keys(self):
+        ring = HashRing()
+        for name in ("s0", "s1", "s2"):
+            ring.add(name)
+        keys = [("task", size, 0) for size in range(300)]
+        before = {key: ring.locate(key) for key in keys}
+        ring.remove("s1")
+        for key in keys:
+            owner = ring.locate(key)
+            if before[key] != "s1":
+                assert owner == before[key]
+            else:
+                assert owner in ("s0", "s2")
+
+    def test_spread_is_roughly_uniform(self):
+        ring = HashRing()
+        for i in range(4):
+            ring.add(f"s{i}")
+        counts = {}
+        for size in range(2000):
+            owner = ring.locate(("task", size, 0))
+            counts[owner] = counts.get(owner, 0) + 1
+        assert len(counts) == 4
+        assert min(counts.values()) > 2000 / 4 * 0.5
+
+    def test_membership_errors(self):
+        ring = HashRing()
+        ring.add("s0")
+        with pytest.raises(ValueError):
+            ring.add("s0")
+        with pytest.raises(KeyError):
+            ring.remove("s1")
+        ring.remove("s0")
+        with pytest.raises(LookupError):
+            ring.locate("anything")
+
+
+# ----------------------------------------------------------------------
+# Shard router
+# ----------------------------------------------------------------------
+class TestShardRouter:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3])
+    def test_bit_identical_across_shard_counts(self, num_shards):
+        requests = [
+            make_request(i, points=380 + (i % 3) * 40) for i in range(12)
+        ]
+        expected = reference_signatures(requests)
+        with ShardRouter(
+            make_session,
+            num_shards=num_shards,
+            num_workers=1,
+            max_wait_seconds=0.002,
+            name=f"ring{num_shards}",
+        ) as router:
+            futures = [router.submit(request) for request in requests]
+            responses = [future.result(timeout=60) for future in futures]
+        snapshot = router.shutdown()
+        assert snapshot["requests"]["completed"] == len(requests)
+        assert snapshot["requests"]["in_flight"] == 0
+        assert snapshot["futures_monotonic"]
+        assert len(snapshot["shards"]) == num_shards
+        for response, signature in zip(responses, expected):
+            assert signatures_equal(response_signature(response), signature)
+
+    def test_same_shape_lands_on_one_shard(self):
+        with ShardRouter(
+            make_session, num_shards=3, max_wait_seconds=0.002, name="sticky"
+        ) as router:
+            names = {router.route(make_request(i)) for i in range(8)}
+            assert len(names) == 1
+
+    def test_remove_shard_drains_and_rebalances(self):
+        requests = [make_request(i) for i in range(6)]
+        with ShardRouter(
+            make_session, num_shards=2, max_wait_seconds=0.002, name="drainy"
+        ) as router:
+            owner = router.route(requests[0])
+            futures = [router.submit(request) for request in requests[:4]]
+            snapshot = router.remove_shard(owner)
+            # Drain-aware: everything admitted before removal completed.
+            assert snapshot["requests"]["completed"] == 4
+            assert snapshot["requests"]["in_flight"] == 0
+            for future in futures:
+                assert future.result(timeout=60) is not None
+            # The shape now re-homes to the surviving shard.
+            survivor = router.route(requests[0])
+            assert survivor != owner
+            assert router.active_shards == [survivor]
+            late = router.submit(requests[4]).result(timeout=60)
+            assert late.result.frame_id == requests[4].frame_id
+            health = router.shard_health()
+            assert health[owner]["removed"] and not health[owner]["running"]
+            assert health[survivor]["running"]
+        merged = router.stats()
+        assert merged["requests"]["completed"] == 5
+        assert merged["futures_monotonic"]
+
+    def test_removing_twice_returns_same_snapshot(self):
+        with ShardRouter(
+            make_session, num_shards=2, max_wait_seconds=0.002, name="twice"
+        ) as router:
+            owner = router.route(make_request(0))
+            router.submit(make_request(0)).result(timeout=60)
+            first = router.remove_shard(owner)
+            second = router.remove_shard(owner)
+            assert first["requests"] == second["requests"]
+
+    def test_process_execution_inside_shards(self):
+        requests = [make_request(i) for i in range(6)]
+        expected = reference_signatures(requests)
+        with ShardRouter(
+            make_session,
+            num_shards=2,
+            num_workers=1,
+            execution="process",
+            max_wait_seconds=0.002,
+            name="procring",
+        ) as router:
+            futures = [router.submit(request) for request in requests]
+            responses = [future.result(timeout=60) for future in futures]
+        for response, signature in zip(responses, expected):
+            assert signatures_equal(response_signature(response), signature)
+
+
+# ----------------------------------------------------------------------
+# Metrics merging
+# ----------------------------------------------------------------------
+def _record(sequence, batch_id, completion_index, ok=True):
+    return RequestRecord(
+        sequence=sequence,
+        frame_id=f"f{sequence}",
+        enqueued_at=0.0,
+        dispatched_at=0.1,
+        completed_at=0.2,
+        completion_index=completion_index,
+        batch_id=batch_id,
+        batch_size=2,
+        trigger="size",
+        worker="w",
+        ok=ok,
+    )
+
+
+class TestMetricsMerge:
+    def test_counters_sum_and_batches_rekey(self):
+        a, b = ServingMetrics(), ServingMetrics()
+        for source, records in (
+            (a, [_record(0, 0, 0), _record(1, 0, 1)]),
+            (b, [_record(0, 0, 0), _record(1, 0, 1)]),
+        ):
+            for record in records:
+                source.record_submitted()
+                source.next_completion_index()
+                source.record(record)
+        merged = ServingMetrics.merge([a, b])
+        snapshot = merged.snapshot()
+        assert snapshot["requests"]["submitted"] == 4
+        assert snapshot["requests"]["completed"] == 4
+        # Both sources used batch 0; merged they must stay distinct.
+        assert snapshot["batches"]["count"] == 2
+        assert snapshot["futures_monotonic"]
+
+    def test_merge_preserves_violations(self):
+        bad = ServingMetrics()
+        bad.record(_record(1, 0, 0))
+        bad.record(_record(0, 0, 1))  # resolved out of admission order
+        good = ServingMetrics()
+        good.record(_record(0, 0, 0))
+        assert not ServingMetrics.merge([good, bad]).futures_monotonic()
+
+    def test_aliasing_batches_would_false_negative_without_rekey(self):
+        # Shard A batch 0 completes before shard B batch 0; interleaving
+        # their completion indices under one batch id would look like an
+        # ordering violation.  merge() keeps them apart.
+        a = ServingMetrics()
+        a.record(_record(5, 0, 0))
+        b = ServingMetrics()
+        b.record(_record(2, 0, 1))
+        merged = ServingMetrics.merge([a, b])
+        assert merged.futures_monotonic()
+        batch_ids = {record.batch_id for record in merged.records}
+        assert len(batch_ids) == 2
+
+
+# ----------------------------------------------------------------------
+# Shutdown idempotency (regression tests for the lifecycle rework)
+# ----------------------------------------------------------------------
+class TestShutdownIdempotency:
+    def test_double_shutdown_returns_identical_snapshot(self):
+        server = FrameServer(make_session, num_workers=1, name="idem").start()
+        server.submit(make_request(0)).result(timeout=60)
+        first = server.shutdown()
+        second = server.shutdown()
+        assert first["requests"] == second["requests"]
+        assert second["requests"]["completed"] == 1
+
+    def test_shutdown_without_start_is_terminal(self):
+        server = FrameServer(make_session, num_workers=1, name="never")
+        snapshot = server.shutdown()
+        assert snapshot["requests"]["submitted"] == 0
+        with pytest.raises(RuntimeError, match="restarted"):
+            server.start()
+
+    def test_exit_after_explicit_shutdown_is_harmless(self):
+        with FrameServer(make_session, num_workers=1, name="exit") as server:
+            future = server.submit(make_request(0))
+            snapshot = server.shutdown()
+            assert future.result(timeout=60) is not None
+        assert server.shutdown()["requests"] == snapshot["requests"]
+
+    def test_concurrent_shutdowns_converge(self):
+        server = FrameServer(
+            make_session, num_workers=2, max_wait_seconds=0.002, name="conc"
+        ).start()
+        futures = [server.submit(make_request(i)) for i in range(8)]
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(server.shutdown()))
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        for future in futures:
+            assert future.result(timeout=60) is not None
+        assert len(results) == 4
+        for snapshot in results:
+            assert snapshot["requests"]["completed"] == 8
+            assert snapshot["requests"]["in_flight"] == 0
+
+    def test_shutdown_after_worker_crash_still_drains(self):
+        server = FrameServer(
+            crashing_factory,
+            num_workers=1,
+            execution="process",
+            max_batch_size=1,
+            max_wait_seconds=0.001,
+            name="crashdown",
+        ).start()
+        poison = server.submit(
+            FrameRequest(
+                cloud=sample_cad_shape(400, shape="box", seed=3),
+                frame_id="poison",
+            )
+        )
+        with pytest.raises(WorkerCrashed):
+            poison.result(timeout=60)
+        snapshot = server.shutdown()
+        assert snapshot["requests"]["failed"] == 1
+        assert snapshot["requests"]["in_flight"] == 0
+        assert server.shutdown()["requests"] == snapshot["requests"]

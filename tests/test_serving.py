@@ -577,3 +577,83 @@ class TestServeCLI:
         assert report["metrics"]["requests"]["completed"] == 12
         assert report["metrics"]["futures_monotonic"] is True
         assert len(report["workers"]) == 2
+
+    def test_serve_rejects_zero_shards(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--shards", "0"])
+        assert excinfo.value.code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_execution(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--execution", "coroutine"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_serve_refuses_process_without_shared_memory(self, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.serving.cluster import transport
+
+        monkeypatch.setattr(transport, "_shared_memory_module", None)
+        exit_code = main(["serve", "--frames", "2", "--execution", "process"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+        assert "--execution thread" in captured.err
+
+    def test_serve_soak_process_execution(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        metrics_path = tmp_path / "metrics.json"
+        exit_code = main(
+            [
+                "serve", "--frames", "12", "--workers", "2",
+                "--execution", "process",
+                "--scale", "0.0005", "--samples", "32", "--neighbors", "4",
+                "--rate-hz", "0", "--max-wait-ms", "2", "--seed", "0",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0, out
+        report = json.loads(metrics_path.read_text())
+        assert report["serve"]["execution"] == "process"
+        assert report["serve"]["verified_bit_identical"] is True
+        assert report["metrics"]["requests"]["completed"] == 12
+
+    def test_serve_soak_sharded_writes_per_shard_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        metrics_path = tmp_path / "metrics.json"
+        exit_code = main(
+            [
+                "serve", "--frames", "12", "--workers", "1", "--shards", "2",
+                "--scale", "0.0005", "--samples", "32", "--neighbors", "4",
+                "--rate-hz", "0", "--max-wait-ms", "2", "--seed", "0",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0, out
+        report = json.loads(metrics_path.read_text())
+        assert report["serve"]["shards"] == 2
+        assert report["serve"]["verified_bit_identical"] is True
+        assert report["metrics"]["requests"]["completed"] == 12
+        assert len(report["shards"]) == 2
+        for index in range(2):
+            shard_path = tmp_path / f"metrics-shard{index}.json"
+            shard_report = json.loads(shard_path.read_text())
+            assert "metrics" in shard_report and "workers" in shard_report
+        per_shard_completed = sum(
+            shard["metrics"]["requests"]["completed"]
+            for shard in report["shards"].values()
+        )
+        assert per_shard_completed == 12
