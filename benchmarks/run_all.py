@@ -571,6 +571,16 @@ def build_scenarios(quick: bool) -> List[Scenario]:
         )
     )
 
+    # --- serving: crash recovery under a seeded fault plan --------------
+    # The same Poisson stream through two fresh process-pool servers: the
+    # measured side runs under a FaultPlan that kills worker 0 mid-run
+    # (its in-flight batches are retried with backoff on the respawned
+    # worker), the reference side runs clean.  The value comparison
+    # asserts recovered responses are bit-identical to the undisturbed
+    # run; the "speedup" (expected < 1) is the price of one worker crash:
+    # detection sweep + respawn + backed-off re-dispatch.
+    scenarios.append(_serving_chaos_scenario(quick))
+
     return scenarios
 
 
@@ -810,6 +820,106 @@ def _serving_scenario(
             if reference == "thread_pool"
             else run_naive
         ),
+    )
+
+
+def _serving_chaos_scenario(quick: bool) -> Scenario:
+    from repro.core.config import (
+        HgPCNConfig,
+        InferenceEngineConfig,
+        PreprocessingConfig,
+    )
+    from repro.session import FrameRequest, Session
+    from repro.serving import FaultPlan, FrameServer, RetryPolicy
+    from repro.serving.server import response_signature
+
+    num_requests = 16 if quick else 32
+    raw_points = 400 if quick else 800
+    num_samples = 64
+    rate_hz = 2000.0
+    config = HgPCNConfig(
+        preprocessing=PreprocessingConfig(num_samples=num_samples, seed=0),
+        inference=InferenceEngineConfig(
+            num_centroids=max(8, num_samples // 4),
+            neighbors_per_centroid=16,
+            seed=0,
+        ),
+    )
+    requests = [
+        FrameRequest(
+            cloud=sample_cad_shape(
+                raw_points, shape="box", non_uniformity=0.3, seed=900 + i
+            ),
+            frame_id=f"chaos{i:04d}",
+        )
+        for i in range(num_requests)
+    ]
+    rng_arrivals = np.random.default_rng(42)
+    arrivals = np.cumsum(
+        rng_arrivals.exponential(1.0 / rate_hz, size=num_requests)
+    )
+
+    def make_session() -> Session:
+        return Session(
+            config=config, task="semantic_segmentation", sampler="random",
+            response_cache_size=0,
+        )
+
+    def run_with(faults: "FaultPlan") -> Tuple[Any, None]:
+        # Fresh server per timing round on BOTH sides: a kill spec fires
+        # once per worker generation, so a persistent endpoint would
+        # crash only in round one and every later round would silently
+        # measure a clean run.  Both sides therefore pay identical
+        # startup (fork + warm sessions) and the delta is the crash.
+        server = FrameServer(
+            session_factory=make_session,
+            num_workers=2,
+            execution="process",
+            max_batch_size=4,
+            max_wait_seconds=0.002,
+            queue_capacity=num_requests,
+            name="bench-chaos",
+            faults=faults,
+            retry_policy=RetryPolicy(max_attempts=3, seed=0),
+        )
+        with server.start():
+            start = time.perf_counter()
+            futures = []
+            for request, arrival in zip(requests, arrivals):
+                delay = start + arrival - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(server.submit(request))
+            signatures = [
+                response_signature(future.result(timeout=120.0))
+                for future in futures
+            ]
+        return signatures, None
+
+    def run_chaos():
+        return run_with(FaultPlan(seed=0).kill_worker(0, after_batches=1))
+
+    def run_clean():
+        return run_with(None)
+
+    return Scenario(
+        name="serving_chaos_poisson",
+        stage="serving",
+        params={
+            "num_requests": num_requests,
+            "raw_points": raw_points,
+            "num_samples": num_samples,
+            "rate_hz": rate_hz,
+            "workers": 2,
+            "max_batch": 4,
+            "max_wait_ms": 2.0,
+            "sampler": "random",
+            "execution": "process",
+            "fault": "kill worker 0 at its 2nd batch",
+            "reference": "clean_run",
+        },
+        run_vectorized=run_chaos,
+        run_reference=run_clean,
     )
 
 

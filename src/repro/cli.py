@@ -28,6 +28,7 @@ import argparse
 import json
 import sys
 import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -75,6 +76,19 @@ def _nonnegative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: finite float > 0 (clean error instead of a deep crash)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0 or not np.isfinite(value):
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text}"
         )
     return value
 
@@ -185,8 +199,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when p99 end-to-end latency exceeds this (0 disables)",
     )
     serve.add_argument(
+        "--request-timeout", type=_positive_float, default=300.0,
+        help="per-request future.result timeout in seconds (default 300)",
+    )
+    serve.add_argument(
         "--no-verify", dest="verify", action="store_false",
         help="skip the bit-identity check against a sequential run_batch",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="run the soak under a seeded fault plan (kill one worker "
+             "mid-run, slow another) and gate on full recovery; requires "
+             "--execution process",
+    )
+    serve.add_argument(
+        "--chaos-kill-after", type=_nonnegative_int, default=2,
+        help="kill worker 0 after it has started this many batches "
+             "(default 2)",
+    )
+    serve.add_argument(
+        "--chaos-slow-ms", type=_positive_float, default=25.0,
+        help="injected latency per batch on the slow worker (default 25)",
     )
 
     samplers = sub.add_parser("samplers", help="compare down-sampling methods")
@@ -290,6 +323,7 @@ def _run_e2e(
 def _run_serve(args: argparse.Namespace) -> int:
     """The serving soak: open-loop Poisson traffic through a FrameServer."""
     from repro.serving import (
+        FaultPlan,
         FrameServer,
         QueueFull,
         ShardRouter,
@@ -305,6 +339,20 @@ def _run_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    faults: Optional[FaultPlan] = None
+    if args.chaos:
+        if args.execution != "process":
+            print(
+                "error: --chaos kills worker processes, which requires "
+                "--execution process",
+                file=sys.stderr,
+            )
+            return 2
+        faults = FaultPlan(seed=args.seed).kill_worker(
+            0, after_batches=args.chaos_kill_after
+        )
+        if args.workers > 1:
+            faults.slow_worker(1, delay_seconds=args.chaos_slow_ms / 1e3)
 
     task = _DATASET_TASKS[args.dataset]
     source = registry.create(
@@ -364,6 +412,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch,
         max_wait_seconds=args.max_wait_ms / 1e3,
         queue_capacity=args.queue_capacity or len(requests),
+        faults=faults,
     )
     router: Optional[ShardRouter] = None
     if args.shards > 1:
@@ -396,7 +445,13 @@ def _run_serve(args: argparse.Namespace) -> int:
                 responses.append(None)
                 continue
             try:
-                responses.append(future.result(timeout=300.0))
+                responses.append(future.result(timeout=args.request_timeout))
+            except FuturesTimeoutError:
+                failures.append(
+                    f"request {i}: no response within the "
+                    f"{args.request_timeout:g}s --request-timeout"
+                )
+                responses.append(None)
             except Exception as exc:
                 failures.append(f"request {i}: future failed: {exc!r}")
                 responses.append(None)
@@ -468,6 +523,15 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"p99 latency {p99_ms:.1f} ms exceeds the "
             f"{args.p99_budget_ms:.0f} ms budget"
         )
+    resilience = metrics.get("resilience", {})
+    if faults is not None:
+        # A chaos soak that never retried means the fault plan never fired:
+        # the kill landed after the run drained, so nothing was recovered.
+        if not resilience.get("retries"):
+            failures.append(
+                "chaos soak recorded zero retries: the injected worker kill "
+                "never fired (lower --chaos-kill-after or raise --frames)"
+            )
 
     # -- report ----------------------------------------------------------
     report = {
@@ -487,6 +551,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             "verified_bit_identical": bool(expected is not None and not any(
                 "bit-identical" in f for f in failures
             )),
+            "request_timeout_seconds": args.request_timeout,
+            "chaos": faults.describe() if faults is not None else None,
             "wall_seconds": round(wall_seconds, 4),
         },
         "checks": {"passed": not failures, "failures": failures},
@@ -530,6 +596,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         ["bit-identical vs sequential",
          "verified" if args.verify else "skipped"],
     ]
+    if faults is not None:
+        rows.append(["chaos (retries/sheds/failovers)",
+                     "{retries}/{deadline_sheds}/{failovers}".format(
+                         **resilience)])
     print(
         format_table(
             ["metric", "value"],

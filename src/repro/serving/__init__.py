@@ -23,12 +23,29 @@ in-process servers via consistent hashing -- see
 ``Session.submit`` is the one-liner entry point (a single-worker server
 wrapped around the session itself); build a :class:`FrameServer` directly
 for multi-worker pools.
+
+Resilience (:mod:`~repro.serving.resilience`, :mod:`~repro.serving.faults`)
+wraps the same pipeline without touching the bit-identical core: requests
+may carry TTL deadlines (shed as :class:`DeadlineExceeded` before
+dispatch), crashed process workers are retried with capped seeded-jitter
+backoff (:class:`RetryPolicy`; :class:`RetriesExhausted` when out of
+attempts), shards fail over along the hash ring behind per-shard
+:class:`CircuitBreaker` guards, and a seeded :class:`FaultPlan` injects
+deterministic kills / latency / transport corruption for chaos testing.
 """
 
+from repro.serving.faults import FaultPlan, FaultSpec
 from repro.serving.metrics import (
     ManualClock,
     RequestRecord,
     ServingMetrics,
+)
+from repro.serving.resilience import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    NoHealthyShard,
+    RetriesExhausted,
+    RetryPolicy,
 )
 from repro.serving.queue import (
     AdmissionQueue,
@@ -52,15 +69,22 @@ from repro.serving.cluster import (
 
 __all__ = [
     "AdmissionQueue",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultSpec",
     "FrameServer",
     "ManualClock",
     "MicroBatch",
     "MicroBatchScheduler",
+    "NoHealthyShard",
     "ProcessWorkerPool",
     "QueueClosed",
     "QueueFull",
     "QueuedRequest",
     "RequestRecord",
+    "RetriesExhausted",
+    "RetryPolicy",
     "ServingMetrics",
     "ShardRouter",
     "ThreadWorkerPool",

@@ -20,8 +20,10 @@ worker processes, each owning a warm session built *in the child* (the
 factory closure rides the fork, nothing is pickled).  Micro-batches travel
 as shared-memory messages (:mod:`repro.serving.cluster.transport`):
 
-* the parent encodes a batch's requests into a ``repro-req-{pid}-{w}-{b}``
-  segment and enqueues the tiny message on worker ``w``'s request queue;
+* the parent encodes a batch's requests into a
+  ``repro-req-{pid}-{pool}-{w}-{b}`` segment (the pool token keeps names
+  unique when one parent runs several pools, e.g. sharded serving) and
+  enqueues the tiny message on worker ``w``'s request queue;
 * the child decodes (copying out of the segment), runs ``run_batch``, and
   ships the responses back in a ``repro-resp-{childpid}-{b}`` segment on
   the shared response queue, with its latest ``session.stats()`` riding
@@ -41,23 +43,41 @@ the key sticks, so each process accumulates a small warm set instead of
 every process warming every shape.
 
 Crash semantics: the collector polls the response queue with a short
-timeout and sweeps ``process.is_alive()`` between polls.  A dead worker
-fails exactly its in-flight batches' futures with :class:`WorkerCrashed`
-(descriptive: worker name, pid, exit code), reclaims their segments, and
-is respawned with a fresh process and request queue -- unless the pool is
-already draining, in which case the slot is simply retired.  The server
-keeps serving and still drains cleanly.
+timeout and sweeps ``process.is_alive()`` between polls.  When a worker
+dies, the surviving (non-expired) requests of its in-flight batches are
+**re-enqueued** with capped exponential seeded-jitter backoff (see
+:class:`~repro.serving.resilience.RetryPolicy`) -- responses are
+bit-identical functions of the request, so recomputing them is idempotent.
+The dead slot is respawned with a fresh process and request queue
+(generation + 1).  Only when a batch runs out of attempts do its futures
+fail: with the original :class:`WorkerCrashed` when retries are disabled
+(``max_attempts=1``), else with
+:class:`~repro.serving.resilience.RetriesExhausted` chaining the last
+crash.  The ``WorkerCrashed`` message stays descriptive -- worker name,
+pid, exit code, and the in-flight batch ids.  A corrupted response
+segment (``TransportError`` on decode) is retried the same way.
+
+End-of-stream is collector-driven: ``end_of_stream()`` only marks the
+stream closed; the collector sends each worker its ``stop`` sentinel once
+no batch is in flight *and* no retry is pending, so a retry can never land
+behind a ``stop`` in the FIFO request queue.
+
+Fault injection: an optional seeded
+:class:`~repro.serving.faults.FaultPlan` rides the fork into every child
+and is consulted per batch -- scripted kills, added latency, and poisoned
+response manifests exercise each recovery path above deterministically.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import multiprocessing
 import os
 import queue as _stdlib_queue
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.serving.cluster.transport import (
     SharedMemoryArena,
@@ -68,7 +88,10 @@ from repro.serving.cluster.transport import (
     encode_requests,
     shared_memory_available,
 )
+from repro.serving.faults import FaultPlan, poison_message
 from repro.serving.metrics import Clock, RequestRecord, ServingMetrics
+from repro.serving.queue import QueuedRequest
+from repro.serving.resilience import DeadlineExceeded, RetriesExhausted, RetryPolicy
 from repro.serving.scheduler import MicroBatch
 from repro.session import Session
 
@@ -130,6 +153,17 @@ class WorkerPool:
         raise NotImplementedError
 
     # -- shared completion path ------------------------------------------
+    def _shed_entry(self, entry: QueuedRequest, now: float) -> None:
+        """Resolve one expired entry with ``DeadlineExceeded`` (typed, counted)."""
+        if entry.future.set_running_or_notify_cancel():
+            entry.future.set_exception(
+                DeadlineExceeded(
+                    f"request {entry.request.frame_id!r} missed its deadline "
+                    f"by {now - (entry.deadline or now):.3f}s before dispatch"
+                )
+            )
+        self.metrics.record_shed()
+
     def _complete_batch(
         self,
         batch: MicroBatch,
@@ -176,8 +210,15 @@ class ThreadWorkerPool(WorkerPool):
         metrics: ServingMetrics,
         clock: Clock,
         name: str,
+        faults: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         super().__init__(session_factory, num_workers, metrics, clock, name)
+        # Threads cannot be killed or poisoned; only "slow" faults apply.
+        # retry_policy is accepted for contract uniformity (threads do not
+        # crash, so there is nothing to retry).
+        self.faults = faults
+        self.retry_policy = retry_policy
         self.sessions: List[Session] = []
         self._dispatch: "_stdlib_queue.Queue[Optional[MicroBatch]]" = (
             _stdlib_queue.Queue()
@@ -229,10 +270,16 @@ class ThreadWorkerPool(WorkerPool):
     def _worker_loop(self, worker_index: int) -> None:
         session = self.sessions[worker_index]
         worker_name = f"{self.name}-worker-{worker_index}"
+        ordinal = -1
         while True:
             batch = self._dispatch.get()
             if batch is None:
                 break
+            ordinal += 1
+            if self.faults is not None:
+                delay = self.faults.slow_delay(worker_index, 0, ordinal)
+                if delay > 0:
+                    time.sleep(delay)
             dispatched_at = self.clock()
             for entry in batch.entries:
                 entry.dispatched_at = dispatched_at
@@ -252,8 +299,17 @@ class ThreadWorkerPool(WorkerPool):
 # ----------------------------------------------------------------------
 # Process pool
 # ----------------------------------------------------------------------
-def _request_segment_name(parent_pid: int, worker_index: int, batch_id: int) -> str:
-    return f"repro-req-{parent_pid}-{worker_index}-{batch_id}"
+#: Per-parent pool counter: keeps request-segment names unique when one
+#: parent owns several pools (sharded serving -- every shard has a worker
+#: 0 dispatching a batch 0).  Two digits keep names inside the tightest
+#: platform shm-name limits.
+_POOL_TOKENS = itertools.count()
+
+
+def _request_segment_name(
+    parent_pid: int, pool_token: int, worker_index: int, batch_id: int
+) -> str:
+    return f"repro-req-{parent_pid}-{pool_token}-{worker_index}-{batch_id}"
 
 
 def _response_segment_name(child_pid: int, batch_id: int) -> str:
@@ -262,21 +318,39 @@ def _response_segment_name(child_pid: int, batch_id: int) -> str:
 
 def _process_worker_main(
     worker_index: int,
+    generation: int,
     session_factory: Callable[[], Session],
     request_queue,
     response_queue,
     force_inline: bool,
     ack_wait_seconds: float,
+    faults: Optional[FaultPlan] = None,
 ) -> None:
     """Child entry point: warm session, serve batches until ``stop``."""
     session = session_factory()
     arena = SharedMemoryArena(prefix=f"repro-resp-{os.getpid()}")
     unacked: Dict[int, str] = {}
+    #: 0-based count of batches this worker has started (fault coordinates).
+    ordinal = -1
 
     def _apply_ack(batch_id: int) -> None:
         segment = unacked.pop(batch_id, None)
         if segment is not None:
             arena.release(segment)
+
+    def _fault_exit(code: int) -> None:
+        # The response queue is shared by every worker: its put() hands
+        # the item to a feeder thread that performs the pipe write while
+        # holding the queue's cross-process write lock.  os._exit while
+        # the feeder is mid-write would orphan that lock and wedge every
+        # sibling's put() forever, so a scripted kill flushes the feeder
+        # first -- it models a crash *between* batches, not mid-syscall.
+        try:
+            response_queue.close()
+            response_queue.join_thread()
+        except Exception:
+            pass
+        os._exit(code)
 
     try:
         while True:
@@ -286,6 +360,13 @@ def _process_worker_main(
                 _apply_ack(message[1])
             elif kind == "batch":
                 _, batch_id, wire = message
+                ordinal += 1
+                if faults is not None:
+                    # Scripted latency and/or a scripted death, addressed
+                    # by (worker, generation, ordinal) -- deterministic.
+                    faults.on_batch_start(
+                        worker_index, generation, ordinal, exit=_fault_exit
+                    )
                 try:
                     requests = decode_requests(wire)
                     result = session.run_batch(requests)
@@ -306,8 +387,21 @@ def _process_worker_main(
                 )
                 if out.segment is not None:
                     unacked[batch_id] = out.segment
+                if faults is not None and faults.should_poison(
+                    worker_index, generation, ordinal
+                ):
+                    # Corrupt the manifest, not the bytes: the parent's
+                    # decode fails loudly with TransportError and retries.
+                    out = poison_message(out)
                 response_queue.put(
-                    ("result", worker_index, batch_id, out, session.stats())
+                    (
+                        "result",
+                        worker_index,
+                        generation,
+                        batch_id,
+                        out,
+                        session.stats(),
+                    )
                 )
             elif kind == "stop":
                 # Hold un-acked response segments until the parent has
@@ -337,6 +431,14 @@ class _WorkerHandle:
     request_queue: Any
     #: True once the worker said "bye" or was declared dead.
     done: bool = False
+    #: True once the collector sent this worker its "stop" sentinel.
+    stopped: bool = False
+    #: Batch ids acked to this worker.  The child unlinks its response
+    #: segment when it sees the ack; if it dies first, the crash sweep
+    #: attach-and-unlinks these (release of an already-gone name is a
+    #: no-op), so a kill between "result sent" and "ack processed" cannot
+    #: leak shared memory.
+    acked: Set[int] = dataclasses.field(default_factory=set)
 
 
 @dataclasses.dataclass
@@ -349,6 +451,18 @@ class _InFlight:
     dispatched_at: float
     #: Request segment name (parent-owned), None on the inline path.
     segment: Optional[str]
+    #: Dispatch count for this batch so far (1 = first attempt).
+    attempts: int = 1
+
+
+@dataclasses.dataclass
+class _PendingRetry:
+    """A crashed batch's survivors waiting out their backoff."""
+
+    due_at: float
+    batch: MicroBatch
+    #: Dispatches so far; the re-dispatch will be attempt ``attempts + 1``.
+    attempts: int
 
 
 class ProcessWorkerPool(WorkerPool):
@@ -371,6 +485,8 @@ class ProcessWorkerPool(WorkerPool):
         name: str,
         force_inline: bool = False,
         ack_wait_seconds: float = _ACK_WAIT_SECONDS,
+        faults: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         super().__init__(session_factory, num_workers, metrics, clock, name)
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -381,7 +497,11 @@ class ProcessWorkerPool(WorkerPool):
         self._ctx = multiprocessing.get_context("fork")
         self._force_inline = bool(force_inline) or not shared_memory_available()
         self._ack_wait_seconds = ack_wait_seconds
+        self.faults = faults
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._pool_token = next(_POOL_TOKENS) % 100
         self._arena = SharedMemoryArena(prefix=f"repro-req-{os.getpid()}")
+        self._retries: List[_PendingRetry] = []
         self._probe: Optional[Session] = None
         self._workers: List[_WorkerHandle] = []
         self._response_queue = None
@@ -433,11 +553,13 @@ class ProcessWorkerPool(WorkerPool):
             target=_process_worker_main,
             args=(
                 index,
+                generation,
                 self.session_factory,
                 request_queue,
                 self._response_queue,
                 self._force_inline,
                 self._ack_wait_seconds,
+                self.faults,
             ),
             name=f"{self.name}-proc-{index}",
             daemon=True,
@@ -450,16 +572,17 @@ class ProcessWorkerPool(WorkerPool):
             request_queue=request_queue,
         )
 
-    def dispatch(self, batch: MicroBatch) -> None:
+    def dispatch(self, batch: MicroBatch, attempts: int = 1) -> None:
         worker_index = self._route(batch.key)
         dispatched_at = self.clock()
         for entry in batch.entries:
             entry.dispatched_at = dispatched_at
+            entry.attempts = attempts
         wire = encode_requests(
             [entry.request for entry in batch.entries],
             arena=self._arena,
             segment_name=_request_segment_name(
-                os.getpid(), worker_index, batch.batch_id
+                os.getpid(), self._pool_token, worker_index, batch.batch_id
             ),
             force_inline=self._force_inline,
         )
@@ -468,12 +591,19 @@ class ProcessWorkerPool(WorkerPool):
         # handle between the lookup and the put.
         with self._lock:
             handle = self._workers[worker_index]
+            if handle.done:
+                # The slot died and was retired (possible only while
+                # draining); a retry still needs a live worker there.
+                handle = self._spawn(handle.index, handle.generation + 1)
+                self._workers[worker_index] = handle
+                self.respawns += 1
             self._in_flight[batch.batch_id] = _InFlight(
                 batch=batch,
                 worker_index=worker_index,
                 generation=handle.generation,
                 dispatched_at=dispatched_at,
                 segment=wire.segment,
+                attempts=attempts,
             )
             handle.request_queue.put(("batch", batch.batch_id, wire))
 
@@ -492,18 +622,14 @@ class ProcessWorkerPool(WorkerPool):
             return worker_index
 
     def end_of_stream(self) -> None:
+        # Only mark the stream closed.  The collector sends the per-worker
+        # "stop" sentinels once nothing is in flight and no retry is
+        # pending: request queues are FIFO, so a retry dispatched after a
+        # "stop" would land behind it and never run.
         with self._lock:
             if self._eos:
                 return
             self._eos = True
-            handles = list(self._workers)
-        # Request queues are FIFO, so "stop" lands after every dispatched
-        # batch; draining children still read acks past it.
-        for handle in handles:
-            try:
-                handle.request_queue.put(("stop",))
-            except Exception:
-                pass
 
     def join(self, timeout: Optional[float] = None) -> None:
         self.end_of_stream()
@@ -564,31 +690,77 @@ class ProcessWorkerPool(WorkerPool):
                             self._latest_stats[worker_index] = stats
                             self._workers[worker_index].done = True
                 self._sweep_crashes()
+                self._dispatch_due_retries()
                 with self._lock:
-                    if (
-                        self._eos
-                        and not self._in_flight
-                        and all(
-                            h.done or not h.process.is_alive()
-                            for h in self._workers
-                        )
+                    quiescent = (
+                        self._eos and not self._in_flight and not self._retries
+                    )
+                    if quiescent:
+                        # Safe to stop the workers now: FIFO queues hold no
+                        # batch, and no retry can be dispatched anymore.
+                        for handle in self._workers:
+                            if handle.stopped or handle.done:
+                                continue
+                            try:
+                                handle.request_queue.put(("stop",))
+                            except Exception:
+                                pass
+                            handle.stopped = True
+                    if quiescent and all(
+                        h.done or not h.process.is_alive()
+                        for h in self._workers
                     ):
                         break
         finally:
             self._all_done.set()
 
-    def _handle_result(self, message: Tuple[Any, ...]) -> None:
-        _, worker_index, batch_id, wire, stats = message
+    def _dispatch_due_retries(self) -> None:
+        """Re-dispatch crashed batches whose backoff has elapsed."""
+        now = self.clock()
+        due: List[_PendingRetry] = []
         with self._lock:
-            info = self._in_flight.pop(batch_id, None)
+            if not self._retries:
+                return
+            still: List[_PendingRetry] = []
+            for pending in self._retries:
+                (due if pending.due_at <= now else still).append(pending)
+            self._retries = still
+        for pending in due:
+            # Deadlines are re-checked at re-dispatch time: backoff may
+            # have outlived a survivor's TTL.
+            survivors = [e for e in pending.batch.entries if not e.expired(now)]
+            for entry in pending.batch.entries:
+                if entry.expired(now):
+                    self._shed_entry(entry, now)
+            if not survivors:
+                continue
+            pending.batch.entries = survivors
+            self.dispatch(pending.batch, attempts=pending.attempts + 1)
+
+    def _handle_result(self, message: Tuple[Any, ...]) -> None:
+        _, worker_index, generation, batch_id, wire, stats = message
+        with self._lock:
+            info = self._in_flight.get(batch_id)
+            if info is not None and (
+                info.worker_index != worker_index
+                or info.generation != generation
+            ):
+                # Stale result from a generation whose batch was already
+                # swept and re-dispatched; the live attempt will complete
+                # the batch.  Treat this one as an orphan.
+                info = None
+            else:
+                self._in_flight.pop(batch_id, None)
             self._latest_stats[worker_index] = stats
             handle = self._workers[worker_index]
         worker_name = f"{self.name}-proc-{worker_index}"
         responses: Optional[List[Any]] = None
         error: Optional[BaseException] = None
+        transport_error: Optional[TransportError] = None
         try:
             payload = decode_payload(wire)
         except TransportError as exc:
+            transport_error = exc
             error = WorkerError(
                 f"{worker_name}: response transport failed: {exc}"
             )
@@ -603,22 +775,67 @@ class ProcessWorkerPool(WorkerPool):
             handle.request_queue.put(("ack", batch_id))
         except Exception:
             pass
-        if info is not None:
-            if info.segment is not None:
-                self._arena.release(info.segment)
-            self._complete_batch(
-                info.batch,
-                info.dispatched_at,
-                self.clock(),
-                responses,
-                error,
-                worker_name,
+        if handle.generation == generation:
+            handle.acked.add(batch_id)
+        if info is None:
+            if wire.segment is not None:
+                # Result for a batch the crash sweep already failed (the
+                # worker responded and died before we noticed): reclaim
+                # the orphaned response segment.
+                self._arena.release(wire.segment)
+            return
+        if info.segment is not None:
+            self._arena.release(info.segment)
+        if transport_error is not None:
+            # A corrupted response proves nothing about the request:
+            # recomputing is idempotent, so treat it like a crash and
+            # retry the survivors under the same policy.
+            if self._schedule_retry(info, error):
+                return
+            if info.attempts > 1:
+                error = RetriesExhausted(
+                    f"batch {batch_id} gave up after {info.attempts} "
+                    f"attempts; last failure: {error}"
+                )
+        self._complete_batch(
+            info.batch,
+            info.dispatched_at,
+            self.clock(),
+            responses,
+            error,
+            worker_name,
+        )
+
+    def _schedule_retry(
+        self, info: _InFlight, cause: BaseException
+    ) -> bool:
+        """Queue the batch's unexpired survivors for a backed-off retry.
+
+        Returns False when the policy is out of attempts (caller fails the
+        batch); expired entries are shed either way.
+        """
+        if self.retry_policy.exhausted(info.attempts):
+            return False
+        now = self.clock()
+        survivors = [e for e in info.batch.entries if not e.expired(now)]
+        for entry in info.batch.entries:
+            if entry.expired(now):
+                self._shed_entry(entry, now)
+        if not survivors:
+            return True
+        info.batch.entries = survivors
+        delay = self.retry_policy.delay(info.attempts)
+        for _ in survivors:
+            self.metrics.record_retry()
+        with self._lock:
+            self._retries.append(
+                _PendingRetry(
+                    due_at=now + delay,
+                    batch=info.batch,
+                    attempts=info.attempts,
+                )
             )
-        elif wire.segment is not None:
-            # Result for a batch the crash sweep already failed (the
-            # worker responded and died before we noticed): reclaim the
-            # orphaned response segment.
-            self._arena.release(wire.segment)
+        return True
 
     def _sweep_crashes(self) -> None:
         casualties: List[Tuple[_WorkerHandle, List[Tuple[int, _InFlight]]]] = []
@@ -635,13 +852,20 @@ class ProcessWorkerPool(WorkerPool):
                     ):
                         del self._in_flight[batch_id]
                         batches.append((batch_id, info))
-                if not self._eos:
+                retryable = any(
+                    not self.retry_policy.exhausted(info.attempts)
+                    for _, info in batches
+                )
+                if not self._eos or retryable:
                     # Replace the handle inside this same critical section:
                     # dispatch() reads the handle and registers in-flight
                     # under the lock, so a batch can never be enqueued on
                     # the dead worker's queue after its casualties were
                     # collected (it either lands in `batches` above or on
-                    # the fresh replacement).
+                    # the fresh replacement).  While draining, respawn only
+                    # when a retry will need the slot; a retry whose
+                    # affinity points at a retired slot respawns it lazily
+                    # in dispatch().
                     self._workers[slot] = self._spawn(
                         handle.index, generation=handle.generation + 1
                     )
@@ -650,11 +874,19 @@ class ProcessWorkerPool(WorkerPool):
         for handle, batches in casualties:
             worker_name = f"{self.name}-proc-{handle.index}"
             pid = handle.process.pid
+            batch_ids = sorted(batch_id for batch_id, _ in batches)
             error = WorkerCrashed(
-                f"worker process {worker_name} (pid {pid}) died with exit "
-                f"code {handle.process.exitcode} while {len(batches)} "
-                f"batch(es) were in flight"
+                f"worker process {worker_name} (pid {pid}, generation "
+                f"{handle.generation}) died with exit code "
+                f"{handle.process.exitcode} while {len(batches)} batch(es) "
+                f"{batch_ids} were in flight"
             )
+            if pid is not None:
+                # Response segments of batches the corpse completed but
+                # whose acks it never processed (it would have unlinked
+                # them itself): attach-and-unlink whatever is left.
+                for batch_id in handle.acked:
+                    self._arena.release(_response_segment_name(pid, batch_id))
             for batch_id, info in batches:
                 if info.segment is not None:
                     self._arena.release(info.segment)
@@ -662,11 +894,20 @@ class ProcessWorkerPool(WorkerPool):
                     # Best-effort reclaim of a response segment the corpse
                     # may have created for this batch.
                     self._arena.release(_response_segment_name(pid, batch_id))
+                if self._schedule_retry(info, error):
+                    continue
+                batch_error: BaseException = error
+                if info.attempts > 1:
+                    batch_error = RetriesExhausted(
+                        f"batch {batch_id} gave up after {info.attempts} "
+                        f"attempts; last failure: {error}"
+                    )
+                    batch_error.__cause__ = error
                 self._complete_batch(
                     info.batch,
                     info.dispatched_at,
                     self.clock(),
                     None,
-                    error,
+                    batch_error,
                     worker_name,
                 )

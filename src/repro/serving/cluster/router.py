@@ -19,11 +19,22 @@ the ring is untouched, which is what makes :meth:`remove_shard`
 immediately), then the shard drains its already-admitted requests to
 completion before its snapshot is returned.
 
+Failover: when the ring owner of a key is down (stopped, or its circuit
+breaker is open), :meth:`ShardRouter.submit` **walks the ring** to the next
+healthy shard instead of failing -- same deterministic order every time,
+since the walk is just the ring's own point order.  Each shard is guarded
+by a :class:`~repro.serving.resilience.CircuitBreaker` (closed -> open on
+consecutive failures -> half-open probe), fed by both submit-time errors
+(``QueueClosed``: the shard is gone) and the terminal state of the futures
+it accepted.  ``QueueFull`` is backpressure, not sickness: it falls over to
+the next shard without charging the breaker.
+
 Observability: :meth:`metrics` merges the per-shard
 :class:`~repro.serving.metrics.ServingMetrics` into one view via
 ``ServingMetrics.merge`` (batch ids and completion indices re-keyed per
-source so the per-batch future-ordering check survives), and
-:meth:`shard_health` reports per-shard liveness and stats.
+source so the per-batch future-ordering check survives) plus the router's
+own failover / breaker-trip counters, and :meth:`shard_health` reports
+per-shard liveness, breaker state, and stats.
 """
 
 from __future__ import annotations
@@ -36,7 +47,15 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from repro.serving.faults import FaultPlan
 from repro.serving.metrics import Clock, ServingMetrics
+from repro.serving.queue import QueueFull
+from repro.serving.resilience import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    NoHealthyShard,
+    RetryPolicy,
+)
 from repro.session import FrameLike, FrameRequest, Session
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
@@ -85,6 +104,23 @@ class HashRing:
             index = 0
         return self._points[index][1]
 
+    def walk(self, key: Any) -> List[str]:
+        """Every distinct name clockwise from ``key``'s hash, owner first.
+
+        This is the failover order: the owner, then each next shard in
+        ring order -- deterministic for a given ring membership.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        position = _ring_hash(repr(key))
+        start = bisect.bisect_right(self._points, (position, ""))
+        seen: List[str] = []
+        for offset in range(len(self._points)):
+            name = self._points[(start + offset) % len(self._points)][1]
+            if name not in seen:
+                seen.append(name)
+        return seen
+
     @property
     def names(self) -> List[str]:
         return sorted(self._names)
@@ -117,6 +153,10 @@ class ShardRouter:
         clock: Clock = time.monotonic,
         name: str = "router",
         replicas: int = DEFAULT_REPLICAS,
+        faults: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_seconds: float = 5.0,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -126,7 +166,11 @@ class ShardRouter:
         self.num_shards = int(num_shards)
         self.name = name
         self.clock = clock
+        #: Router-level counters (failovers, breaker trips); merged into
+        #: :meth:`metrics` alongside the shard metrics.
+        self.router_metrics = ServingMetrics()
         self.shards: Dict[str, "FrameServer"] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
         for i in range(self.num_shards):
             shard_name = f"{name}-shard-{i}"
             self.shards[shard_name] = FrameServer(
@@ -139,6 +183,13 @@ class ShardRouter:
                 batch_rows_budget=batch_rows_budget,
                 clock=clock,
                 name=shard_name,
+                faults=faults,
+                retry_policy=retry_policy,
+            )
+            self._breakers[shard_name] = CircuitBreaker(
+                failure_threshold=breaker_failure_threshold,
+                reset_seconds=breaker_reset_seconds,
+                clock=clock,
             )
         self._ring = HashRing(replicas=replicas)
         self._probe: Optional[Session] = None
@@ -195,8 +246,17 @@ class ShardRouter:
         frame_id: Optional[str] = None,
         block: bool = False,
         timeout: Optional[float] = None,
+        ttl: Optional[float] = None,
     ):
-        """Admit one frame on its consistent-hash shard; returns a future."""
+        """Admit one frame on its consistent-hash shard; returns a future.
+
+        When the ring owner is down -- stopped, breaker-open, or erroring
+        at submit -- the request **fails over** along the ring to the next
+        healthy shard.  ``QueueFull`` also falls over (without charging
+        the owner's breaker: backpressure is load, not sickness).  Raises
+        :class:`~repro.serving.resilience.NoHealthyShard` when every shard
+        was skipped as unhealthy, else re-raises the last submit error.
+        """
         if not self._started:
             self.start()
         request = FrameRequest.coerce(frame, index=next(self._counter))
@@ -205,10 +265,63 @@ class ShardRouter:
         assert self._probe is not None
         key = self._probe.shape_key(request.cloud)
         with self._lock:
-            shard_name = self._ring.locate(key)
-        return self.shards[shard_name].submit(
-            request, block=block, timeout=timeout
+            order = self._ring.walk(key)
+        last_error: Optional[BaseException] = None
+        for position, shard_name in enumerate(order):
+            shard = self.shards[shard_name]
+            breaker = self._breakers[shard_name]
+            if not shard.running:
+                continue
+            if not breaker.allow():
+                continue
+            try:
+                future = shard.submit(
+                    request, block=block, timeout=timeout, ttl=ttl
+                )
+            except QueueFull as exc:
+                breaker.record_probe_release()
+                last_error = exc
+                continue
+            except Exception as exc:
+                # QueueClosed or anything unexpected: the shard is sick.
+                if breaker.record_failure():
+                    self.router_metrics.record_breaker_trip()
+                last_error = exc
+                continue
+            if position > 0:
+                self.router_metrics.record_failover()
+            future.add_done_callback(self._breaker_feedback(shard_name))
+            return future
+        if last_error is not None:
+            raise last_error
+        raise NoHealthyShard(
+            f"no healthy shard for key {key!r}: "
+            + ", ".join(
+                f"{n}={self._breakers[n].state}"
+                + ("" if self.shards[n].running else "/stopped")
+                for n in order
+            )
         )
+
+    def _breaker_feedback(self, shard_name: str):
+        """Done-callback feeding a future's terminal state to the breaker."""
+        breaker = self._breakers[shard_name]
+
+        def _observe(future) -> None:
+            if future.cancelled():
+                breaker.record_probe_release()
+                return
+            error = future.exception()
+            if error is None:
+                breaker.record_success()
+            elif isinstance(error, DeadlineExceeded):
+                # A shed deadline says the *client's* TTL ran out before
+                # dispatch -- no verdict on the shard's health.
+                breaker.record_probe_release()
+            elif breaker.record_failure():
+                self.router_metrics.record_breaker_trip()
+
+        return _observe
 
     # -- membership ------------------------------------------------------
     def remove_shard(self, shard_name: str, drain: bool = True) -> dict:
@@ -237,29 +350,41 @@ class ShardRouter:
 
     # -- observability ---------------------------------------------------
     def metrics(self) -> ServingMetrics:
-        """Merged ServingMetrics across every shard (removed ones included)."""
+        """Merged ServingMetrics across every shard (removed ones included),
+        plus the router's own failover / breaker-trip counters."""
         return ServingMetrics.merge(
             [shard.metrics for shard in self.shards.values()]
+            + [self.router_metrics]
         )
 
+    def breaker_states(self) -> Dict[str, dict]:
+        """Per-shard circuit-breaker state and trip count."""
+        return {
+            shard_name: {"state": breaker.state, "trips": breaker.trips}
+            for shard_name, breaker in self._breakers.items()
+        }
+
     def shard_health(self) -> Dict[str, dict]:
-        """Per-shard liveness and live stats snapshot."""
+        """Per-shard liveness, breaker state, and live stats snapshot."""
         health: Dict[str, dict] = {}
         with self._lock:
             removed = set(self._removed)
         for shard_name, shard in self.shards.items():
+            breaker = self._breakers[shard_name]
             health[shard_name] = {
                 "running": shard.running,
                 "removed": shard_name in removed,
+                "breaker": {"state": breaker.state, "trips": breaker.trips},
                 "stats": shard.stats(),
             }
         return health
 
     def stats(self) -> dict:
-        """Merged snapshot plus a per-shard breakdown."""
+        """Merged snapshot plus per-shard and breaker breakdowns."""
         merged = self.metrics().snapshot()
         merged["shards"] = {
             shard_name: shard.stats()
             for shard_name, shard in self.shards.items()
         }
+        merged["breakers"] = self.breaker_states()
         return merged

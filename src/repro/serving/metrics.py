@@ -86,6 +86,10 @@ class ServingMetrics:
         self._rejected = 0
         self._cancelled = 0
         self._completion_counter = 0
+        self._sheds = 0
+        self._retries = 0
+        self._breaker_trips = 0
+        self._failovers = 0
 
     # -- recording ------------------------------------------------------
     def record_submitted(self) -> int:
@@ -109,6 +113,27 @@ class ServingMetrics:
         """Count one admitted request dropped without being served."""
         with self._lock:
             self._cancelled += 1
+
+    # -- resilience counters --------------------------------------------
+    def record_shed(self) -> None:
+        """Count one request resolved ``DeadlineExceeded`` before dispatch."""
+        with self._lock:
+            self._sheds += 1
+
+    def record_retry(self) -> None:
+        """Count one request re-enqueued after a worker crash."""
+        with self._lock:
+            self._retries += 1
+
+    def record_breaker_trip(self) -> None:
+        """Count one circuit breaker transition to open."""
+        with self._lock:
+            self._breaker_trips += 1
+
+    def record_failover(self) -> None:
+        """Count one request routed past its ring owner to a healthy shard."""
+        with self._lock:
+            self._failovers += 1
 
     def next_completion_index(self) -> int:
         """Allocate the next global completion index."""
@@ -147,9 +172,17 @@ class ServingMetrics:
                 rejected = source._rejected
                 cancelled = source._cancelled
                 completions = source._completion_counter
+                sheds = source._sheds
+                retries = source._retries
+                breaker_trips = source._breaker_trips
+                failovers = source._failovers
             merged._submitted += submitted
             merged._rejected += rejected
             merged._cancelled += cancelled
+            merged._sheds += sheds
+            merged._retries += retries
+            merged._breaker_trips += breaker_trips
+            merged._failovers += failovers
             max_batch_id = -1
             for record in records:
                 max_batch_id = max(max_batch_id, record.batch_id)
@@ -191,6 +224,10 @@ class ServingMetrics:
         with self._lock:
             submitted, rejected = self._submitted, self._rejected
             cancelled = self._cancelled
+            sheds = self._sheds
+            retries = self._retries
+            breaker_trips = self._breaker_trips
+            failovers = self._failovers
         completed = [r for r in records if r.ok]
         failed = [r for r in records if not r.ok]
 
@@ -218,9 +255,12 @@ class ServingMetrics:
                 #: Admitted but never served (cancelled at shutdown) --
                 #: final-state losses, not work still in the pipeline.
                 "dropped": cancelled,
+                #: Resolved ``DeadlineExceeded`` before dispatch (TTL shed) --
+                #: a typed result, not a loss.
+                "shed": sheds,
                 #: Admitted and still queued/executing (0 after a drain).
                 "in_flight": (
-                    submitted - len(completed) - len(failed) - cancelled
+                    submitted - len(completed) - len(failed) - cancelled - sheds
                 ),
             },
             "queue_wait_ms": _percentiles_ms([r.queue_wait for r in completed]),
@@ -236,6 +276,14 @@ class ServingMetrics:
             },
             "throughput_rps": throughput,
             "futures_monotonic": self.futures_monotonic(),
+            "resilience": {
+                #: Requests re-enqueued after a worker crash (per request,
+                #: per re-dispatch -- one request retried twice counts 2).
+                "retries": retries,
+                "deadline_sheds": sheds,
+                "breaker_trips": breaker_trips,
+                "failovers": failovers,
+            },
         }
 
 

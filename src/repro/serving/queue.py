@@ -6,7 +6,17 @@ request with the :class:`concurrent.futures.Future` handed back to the
 caller.  The queue is a bounded FIFO: when it is full, ``submit`` either
 raises :class:`QueueFull` immediately (the default -- open-loop callers
 count the rejection and move on) or blocks until the scheduler drains a
-slot (``block=True``, closed-loop backpressure).
+slot (``block=True``, closed-loop backpressure).  In blocking mode the
+``timeout`` budget is measured on the queue's *injected* clock -- the same
+clock that stamps ``enqueued_at`` -- so tests driving a
+:class:`~repro.serving.metrics.ManualClock` get exact timeout semantics.
+
+Requests may carry a TTL: ``submit(..., ttl=...)`` stamps an absolute
+``deadline`` on the entry.  A full queue sheds its expired entries (oldest
+first -- the FIFO order) before giving up with :class:`QueueFull`; each
+shed entry is handed to the ``on_shed`` callback *outside* the queue lock
+so the owner can resolve its future with ``DeadlineExceeded`` -- an
+admitted request is never silently dropped.
 
 The scheduler thread is the single consumer; it pulls entries with
 :meth:`pop` and regroups them into shape-keyed micro-batches (see
@@ -20,10 +30,16 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Deque, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.serving.metrics import Clock
 from repro.session import FrameRequest
+
+
+#: Blocking submitters wake at least this often (real seconds) to re-check
+#: for occupants whose deadlines have passed: an expiry frees a slot
+#: without anyone notifying the condition variable.
+_BLOCKED_POLL_SECONDS = 0.05
 
 
 class QueueFull(RuntimeError):
@@ -46,16 +62,32 @@ class QueuedRequest:
     enqueued_at: float
     #: Filled in by the worker when its micro-batch starts executing.
     dispatched_at: Optional[float] = field(default=None, compare=False)
+    #: Absolute clock deadline (``enqueued_at`` clock + ttl); ``None`` means
+    #: the request waits indefinitely.  Checked before dispatch, never after.
+    deadline: Optional[float] = field(default=None, compare=False)
+    #: How many times a worker pool has dispatched this entry (crash retry).
+    attempts: int = field(default=0, compare=False)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and self.deadline <= now
 
 
 class AdmissionQueue:
     """Thread-safe bounded FIFO of :class:`QueuedRequest` entries."""
 
-    def __init__(self, capacity: int = 256, clock: Clock = time.monotonic):
+    def __init__(
+        self,
+        capacity: int = 256,
+        clock: Clock = time.monotonic,
+        on_shed: Optional[Callable[[QueuedRequest], None]] = None,
+    ):
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self.clock = clock
+        #: Called (outside the queue lock) with each expired entry shed to
+        #: make room; the owner resolves its future with DeadlineExceeded.
+        self.on_shed = on_shed
         self._entries: Deque[QueuedRequest] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -70,46 +102,82 @@ class AdmissionQueue:
         request: FrameRequest,
         block: bool = False,
         timeout: Optional[float] = None,
+        ttl: Optional[float] = None,
     ) -> QueuedRequest:
         """Admit ``request``; returns its queue entry (future included).
 
-        Raises :class:`QueueFull` when at capacity (after ``timeout`` in
-        blocking mode) and :class:`QueueClosed` after :meth:`close`.
+        ``ttl`` (seconds, > 0) stamps an absolute deadline on the entry;
+        expired entries are shed before dispatch rather than served.
+
+        Raises :class:`QueueFull` when at capacity (after ``timeout`` on the
+        injected clock in blocking mode; ``timeout=0`` never waits) and
+        :class:`QueueClosed` after :meth:`close`.  A full queue first sheds
+        its own expired entries to make room.
         """
-        with self._lock:
-            if self._closed:
-                raise QueueClosed("admission queue is closed")
-            if len(self._entries) >= self.capacity:
-                if not block:
-                    self.rejected += 1
-                    raise QueueFull(
-                        f"admission queue at capacity ({self.capacity})"
-                    )
-                deadline = None if timeout is None else self.clock() + timeout
-                while len(self._entries) >= self.capacity and not self._closed:
-                    remaining = None
-                    if deadline is not None:
-                        remaining = deadline - self.clock()
-                        if remaining <= 0:
-                            break
-                    self._not_full.wait(remaining)
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be > 0 seconds, got {ttl}")
+        shed: List[QueuedRequest] = []
+        try:
+            with self._lock:
                 if self._closed:
                     raise QueueClosed("admission queue is closed")
                 if len(self._entries) >= self.capacity:
-                    self.rejected += 1
-                    raise QueueFull(
-                        f"admission queue at capacity ({self.capacity})"
-                    )
-            entry = QueuedRequest(
-                request=request,
-                future=Future(),
-                sequence=self._sequence,
-                enqueued_at=self.clock(),
+                    shed.extend(self._shed_expired_locked(self.clock()))
+                if len(self._entries) >= self.capacity:
+                    if not block:
+                        self.rejected += 1
+                        raise QueueFull(
+                            f"admission queue at capacity ({self.capacity})"
+                        )
+                    deadline = None if timeout is None else self.clock() + timeout
+                    while len(self._entries) >= self.capacity and not self._closed:
+                        remaining = None
+                        if deadline is not None:
+                            remaining = deadline - self.clock()
+                            if remaining <= 0:
+                                break
+                        self._not_full.wait(
+                            _BLOCKED_POLL_SECONDS
+                            if remaining is None
+                            else min(remaining, _BLOCKED_POLL_SECONDS)
+                        )
+                        if len(self._entries) >= self.capacity:
+                            shed.extend(self._shed_expired_locked(self.clock()))
+                    if self._closed:
+                        raise QueueClosed("admission queue is closed")
+                    if len(self._entries) >= self.capacity:
+                        self.rejected += 1
+                        raise QueueFull(
+                            f"admission queue at capacity ({self.capacity})"
+                        )
+                now = self.clock()
+                entry = QueuedRequest(
+                    request=request,
+                    future=Future(),
+                    sequence=self._sequence,
+                    enqueued_at=now,
+                    deadline=None if ttl is None else now + ttl,
+                )
+                self._sequence += 1
+                self._entries.append(entry)
+                self._not_empty.notify()
+                return entry
+        finally:
+            if shed and self.on_shed is not None:
+                for victim in shed:
+                    self.on_shed(victim)
+
+    def _shed_expired_locked(self, now: float) -> List[QueuedRequest]:
+        """Drop expired entries (oldest first); caller resolves their futures."""
+        if not self._entries:
+            return []
+        shed = [entry for entry in self._entries if entry.expired(now)]
+        if shed:
+            self._entries = deque(
+                entry for entry in self._entries if not entry.expired(now)
             )
-            self._sequence += 1
-            self._entries.append(entry)
-            self._not_empty.notify()
-            return entry
+            self._not_full.notify_all()
+        return shed
 
     def close(self) -> None:
         """Stop admitting; already-queued entries remain poppable."""

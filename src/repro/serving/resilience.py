@@ -1,0 +1,219 @@
+"""Resilience policies for the serving stack: typed errors, retry, breakers.
+
+The serving pipeline recomputes rather than replays: responses are
+bit-identical functions of the request (serving sessions run cache-less and
+seed per-frame RNG from the frame id), so any failed attempt is idempotent
+to redo.  That one property makes the policies in this module safe:
+
+* :class:`RetryPolicy` -- capped exponential backoff with *seeded* jitter
+  for re-enqueueing the surviving requests of a crashed worker's in-flight
+  batches.  The jitter stream is a deterministic function of the seed, so a
+  chaos test replays the exact same schedule every run.
+* :class:`CircuitBreaker` -- the classic closed -> open -> half-open state
+  machine guarding one shard.  Time comes from an injectable clock so tests
+  can step through the open window without sleeping.
+* Typed terminal errors -- an admitted request never disappears: its future
+  resolves with a response, :class:`DeadlineExceeded` (shed before
+  dispatch), or :class:`RetriesExhausted` (crash recovery gave up).
+
+Everything here is policy, not mechanism: the queue/scheduler/pool/router
+call into these objects but own the threading and the futures themselves.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.serving.metrics import Clock
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before a worker picked it up."""
+
+
+class RetriesExhausted(RuntimeError):
+    """Crash recovery re-dispatched the request too many times and gave up."""
+
+
+class NoHealthyShard(RuntimeError):
+    """Every shard on the ring is stopped or breaker-open for this key."""
+
+
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter.
+
+    ``max_attempts`` counts *dispatches*: 1 means fail on the first crash
+    (the pre-retry behaviour), 3 means the original dispatch plus up to two
+    re-dispatches.  Delays double from ``base_delay_seconds`` up to
+    ``max_delay_seconds``, each stretched by a jitter factor drawn from a
+    seeded RNG -- deterministic given the seed and the call order.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay_seconds: float = 0.05,
+        max_delay_seconds: float = 1.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay_seconds < 0:
+            raise ValueError(
+                f"base_delay_seconds must be >= 0, got {base_delay_seconds}"
+            )
+        if max_delay_seconds < base_delay_seconds:
+            raise ValueError(
+                "max_delay_seconds must be >= base_delay_seconds "
+                f"({max_delay_seconds} < {base_delay_seconds})"
+            )
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = int(max_attempts)
+        self.base_delay_seconds = float(base_delay_seconds)
+        self.max_delay_seconds = float(max_delay_seconds)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+
+    def exhausted(self, attempts: int) -> bool:
+        """Whether a request dispatched ``attempts`` times is out of tries."""
+        return attempts >= self.max_attempts
+
+    def delay(self, attempts: int) -> float:
+        """Backoff before dispatch number ``attempts + 1`` (attempts >= 1)."""
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        base = min(
+            self.max_delay_seconds,
+            self.base_delay_seconds * (2.0 ** (attempts - 1)),
+        )
+        if self.jitter == 0.0:
+            return base
+        with self._lock:
+            stretch = 1.0 + self.jitter * float(self._rng.random())
+        return base * stretch
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base={self.base_delay_seconds}, max={self.max_delay_seconds}, "
+            f"jitter={self.jitter}, seed={self.seed})"
+        )
+
+
+#: :class:`CircuitBreaker` states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open breaker for one downstream shard.
+
+    * **closed**: traffic flows; ``failure_threshold`` *consecutive*
+      failures trip the breaker open.
+    * **open**: :meth:`allow` refuses everything until ``reset_seconds``
+      have elapsed on the injected clock, then one probe is let through
+      (half-open).
+    * **half-open**: exactly one in-flight probe; success closes the
+      breaker, failure re-opens it (and restarts the window).  A probe
+      that ends without a verdict (e.g. its request was shed on deadline)
+      releases the probe slot without changing state.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_seconds: float = 5.0,
+        clock: Clock = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_seconds < 0:
+            raise ValueError(f"reset_seconds must be >= 0, got {reset_seconds}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_seconds = float(reset_seconds)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether one more request may be sent through this breaker."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A request completed: close the breaker, reset failure streak."""
+        with self._lock:
+            self._state = BREAKER_CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self) -> bool:
+        """A request failed; returns ``True`` when this trips the breaker."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            self._consecutive_failures += 1
+            if self._state == BREAKER_HALF_OPEN:
+                # The probe failed: straight back to open.
+                self._open_locked()
+                return True
+            if (
+                self._state == BREAKER_CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._open_locked()
+                return True
+            return False
+
+    def record_probe_release(self) -> None:
+        """A half-open probe ended without a verdict; free the probe slot."""
+        with self._lock:
+            self._probe_in_flight = False
+
+    def _open_locked(self) -> None:
+        self._state = BREAKER_OPEN
+        self._opened_at = self.clock()
+        self._probe_in_flight = False
+        self.trips += 1
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == BREAKER_OPEN
+            and self._opened_at is not None
+            and self.clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._state = BREAKER_HALF_OPEN
+            self._probe_in_flight = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}, trips={self.trips})"
+        )

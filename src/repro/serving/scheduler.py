@@ -125,6 +125,40 @@ class MicroBatchScheduler:
             return None
         return min(oldest) + self.max_wait_seconds
 
+    def next_expiry(self) -> Optional[float]:
+        """Earliest request deadline among pending entries (TTL sheds)."""
+        with self._lock:
+            deadlines = [
+                entry.deadline
+                for entries in self._pending.values()
+                for entry in entries
+                if entry.deadline is not None
+            ]
+        return min(deadlines) if deadlines else None
+
+    def shed_expired(self, now: Optional[float] = None) -> List[QueuedRequest]:
+        """Remove expired entries from every pending group (pre-dispatch).
+
+        Returns the shed entries; the caller resolves their futures with
+        ``DeadlineExceeded``.  Runs before :meth:`ready`/:meth:`drain` so an
+        expired request is never dispatched -- and never silently dropped.
+        """
+        if now is None:
+            now = self.clock()
+        shed: List[QueuedRequest] = []
+        with self._lock:
+            for key in list(self._pending):
+                entries = self._pending[key]
+                kept = [e for e in entries if not e.expired(now)]
+                if len(kept) == len(entries):
+                    continue
+                shed.extend(e for e in entries if e.expired(now))
+                if kept:
+                    self._pending[key] = kept
+                else:
+                    del self._pending[key]
+        return shed
+
     def ready(self, now: Optional[float] = None) -> List[MicroBatch]:
         """Pop every batch whose size or deadline trigger has fired."""
         if now is None:

@@ -53,12 +53,15 @@ from repro.serving.cluster.pool import (
     ThreadWorkerPool,
     WorkerPool,
 )
+from repro.serving.faults import FaultPlan
 from repro.serving.metrics import Clock, ServingMetrics
 from repro.serving.queue import (
     AdmissionQueue,
     QueueClosed,
+    QueuedRequest,
     QueueFull,
 )
+from repro.serving.resilience import DeadlineExceeded, RetryPolicy
 from repro.serving.scheduler import MicroBatchScheduler
 from repro.session import FrameLike, FrameRequest, FrameResponse, Session
 
@@ -133,9 +136,19 @@ class FrameServer:
         :class:`~repro.serving.scheduler.MicroBatchScheduler`).  The rows
         budget defaults to the sessions' own ``batch_rows_budget``.
     queue_capacity:
-        Admission queue bound (backpressure above it).
+        Admission queue bound (backpressure above it).  A full queue sheds
+        its expired entries (TTL) before rejecting.
     clock:
         Injectable monotonic clock shared by every serving component.
+    faults:
+        Optional seeded :class:`~repro.serving.faults.FaultPlan` injected
+        into the worker pool (chaos testing).  Process pools honour kill /
+        slow / poison faults; thread pools honour slow only.
+    retry_policy:
+        Crash-retry policy for process pools
+        (:class:`~repro.serving.resilience.RetryPolicy`; default 3
+        attempts with capped seeded-jitter backoff).  Pass
+        ``RetryPolicy(max_attempts=1)`` to fail fast like PR 6.
     """
 
     def __init__(
@@ -149,6 +162,8 @@ class FrameServer:
         clock: Clock = time.monotonic,
         name: str = "serving",
         execution: str = "thread",
+        faults: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -161,8 +176,12 @@ class FrameServer:
         self.execution = execution
         self.name = name
         self.clock = clock
+        self.faults = faults
+        self.retry_policy = retry_policy
         self.metrics = ServingMetrics()
-        self.admission = AdmissionQueue(capacity=queue_capacity, clock=clock)
+        self.admission = AdmissionQueue(
+            capacity=queue_capacity, clock=clock, on_shed=self._shed_entry
+        )
         self.pool: Optional[WorkerPool] = None
         self._max_batch_size = max_batch_size
         self._max_wait_seconds = max_wait_seconds
@@ -197,6 +216,8 @@ class FrameServer:
                     metrics=self.metrics,
                     clock=self.clock,
                     name=self.name,
+                    faults=self.faults,
+                    retry_policy=self.retry_policy,
                 )
             else:
                 pool = ThreadWorkerPool(
@@ -205,6 +226,8 @@ class FrameServer:
                     metrics=self.metrics,
                     clock=self.clock,
                     name=self.name,
+                    faults=self.faults,
+                    retry_policy=self.retry_policy,
                 )
             pool.start()
             self.pool = pool
@@ -307,8 +330,14 @@ class FrameServer:
         frame_id: Optional[str] = None,
         block: bool = False,
         timeout: Optional[float] = None,
+        ttl: Optional[float] = None,
     ):
         """Admit one frame; returns a future resolving to a FrameResponse.
+
+        ``ttl`` (seconds, > 0) bounds how long the request may wait before
+        dispatch: past it, the future resolves with
+        :class:`~repro.serving.resilience.DeadlineExceeded` instead of
+        being served (never a silent drop).
 
         Raises :class:`~repro.serving.queue.QueueFull` under backpressure
         and :class:`~repro.serving.queue.QueueClosed` after shutdown.
@@ -324,7 +353,9 @@ class FrameServer:
         # reports completed > submitted (negative in_flight).
         self.metrics.record_submitted()
         try:
-            entry = self.admission.submit(request, block=block, timeout=timeout)
+            entry = self.admission.submit(
+                request, block=block, timeout=timeout, ttl=ttl
+            )
         except QueueFull:
             self.metrics.record_admission_failed()
             self.metrics.record_rejected()
@@ -333,6 +364,18 @@ class FrameServer:
             self.metrics.record_admission_failed()
             raise
         return entry.future
+
+    def _shed_entry(self, entry: QueuedRequest) -> None:
+        """Resolve one expired entry with ``DeadlineExceeded`` (typed)."""
+        now = self.clock()
+        if entry.future.set_running_or_notify_cancel():
+            entry.future.set_exception(
+                DeadlineExceeded(
+                    f"request {entry.request.frame_id!r} missed its deadline "
+                    f"by {now - (entry.deadline or now):.3f}s before dispatch"
+                )
+            )
+        self.metrics.record_shed()
 
     def stats(self) -> dict:
         """Live metrics snapshot (the server keeps running)."""
@@ -358,6 +401,10 @@ class FrameServer:
         try:
             while True:
                 if self.admission.is_drained():
+                    # Shed expired entries even on the way out: a drain
+                    # dispatches only what can still meet its deadline.
+                    for entry in scheduler.shed_expired():
+                        self._shed_entry(entry)
                     final = scheduler.drain()
                     if self._discard:
                         for batch in final:
@@ -369,6 +416,11 @@ class FrameServer:
                             pool.dispatch(batch)
                     break
                 deadline = scheduler.next_deadline()
+                # Wake for whichever comes first: a batch deadline trigger
+                # or a pending request's TTL expiry (so sheds are timely).
+                expiry = scheduler.next_expiry()
+                if expiry is not None:
+                    deadline = expiry if deadline is None else min(deadline, expiry)
                 if deadline is None:
                     timeout: Optional[float] = _IDLE_POLL_SECONDS
                 else:
@@ -384,6 +436,10 @@ class FrameServer:
                         if extra is None:
                             break
                         scheduler.add(extra)
+                # Expired requests leave with DeadlineExceeded *before*
+                # batch formation -- an expired entry is never dispatched.
+                for entry in scheduler.shed_expired():
+                    self._shed_entry(entry)
                 for batch in scheduler.ready():
                     pool.dispatch(batch)
         finally:

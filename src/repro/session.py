@@ -307,14 +307,27 @@ class Session:
         return response
 
     # -- asynchronous path ----------------------------------------------
-    def submit(self, frame: FrameLike, frame_id: Optional[str] = None, **server_options):
+    def submit(
+        self,
+        frame: FrameLike,
+        frame_id: Optional[str] = None,
+        block: bool = False,
+        timeout: Optional[float] = None,
+        ttl: Optional[float] = None,
+        **server_options,
+    ):
         """Submit one frame asynchronously; returns a future.
 
         The first call lazily starts a single-worker
         :class:`~repro.serving.server.FrameServer` whose worker *is* this
         session (same warm caches, same response cache), configured by
         ``server_options`` (``max_batch_size``, ``max_wait_seconds``,
-        ``queue_capacity``, ...).  The future resolves to the frame's
+        ``queue_capacity``, ...).  ``block``/``timeout`` and ``ttl`` are
+        per-request: they forward to
+        :meth:`~repro.serving.server.FrameServer.submit` (``ttl`` seconds
+        bounds the queue wait -- past it the future resolves with
+        :class:`~repro.serving.resilience.DeadlineExceeded` instead of
+        being served).  The future resolves to the frame's
         :class:`FrameResponse` once its micro-batch has been served; call
         :meth:`drain` to flush pending work and stop the server.  Do not mix
         ``submit`` with direct :meth:`run`/:meth:`run_batch` calls while the
@@ -334,7 +347,9 @@ class Session:
                     "drain() first to reconfigure"
                 )
             server = self._server
-        return server.submit(frame, frame_id=frame_id)
+        return server.submit(
+            frame, frame_id=frame_id, block=block, timeout=timeout, ttl=ttl
+        )
 
     def drain(self) -> Optional[Dict[str, Any]]:
         """Finish all submitted work, stop serving, return the metrics.

@@ -25,6 +25,7 @@ from repro.datasets.synthetic import sample_cad_shape
 from repro.serving import (
     FrameServer,
     RequestRecord,
+    RetryPolicy,
     ServingMetrics,
     ShardRouter,
     WorkerCrashed,
@@ -182,6 +183,8 @@ class TestProcessExecution:
             assert server.pool.respawns == 0
 
     def test_worker_crash_fails_batch_respawns_and_drains(self):
+        # retries disabled: this test pins the PR 6 fail-fast semantics
+        # (the retry path has its own tests in test_resilience.py).
         server = FrameServer(
             crashing_factory,
             num_workers=1,
@@ -189,6 +192,7 @@ class TestProcessExecution:
             max_batch_size=1,
             max_wait_seconds=0.001,
             name="crash",
+            retry_policy=RetryPolicy(max_attempts=1),
         ).start()
         before = server.submit(make_request(0)).result(timeout=60)
         assert before.result.frame_id == "req0000"
@@ -520,6 +524,7 @@ class TestShutdownIdempotency:
             max_batch_size=1,
             max_wait_seconds=0.001,
             name="crashdown",
+            retry_policy=RetryPolicy(max_attempts=1),
         ).start()
         poison = server.submit(
             FrameRequest(
