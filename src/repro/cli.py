@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro import registry
+from repro.network.backends import resolve_backend
 from repro.analysis.quality import (
     compare_samplers,
     quality_table_rows,
@@ -137,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="hgpcn",
         help="registered inference platform model (default: hgpcn)",
     )
+    e2e.add_argument(
+        "--backend",
+        choices=registry.available("backend"),
+        default=None,
+        help="registered compute backend for the network layers "
+             "(default: session default -- REPRO_BACKEND env or numpy)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -171,6 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--accelerator", choices=registry.available("accelerator"),
         default="hgpcn",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=registry.available("backend"),
+        default=None,
+        help="compute backend for every serving session -- workers and the "
+             "sequential bit-identity reference alike (default: session "
+             "default -- REPRO_BACKEND env or numpy)",
     )
     serve.add_argument(
         "--rate-hz", type=float, default=100.0,
@@ -262,6 +278,7 @@ def _run_e2e(
     sampler: str = "ois",
     accelerator: str = "hgpcn",
     batch_size: int = 0,
+    backend: Optional[str] = None,
 ) -> int:
     task = _DATASET_TASKS[dataset]
     source = registry.create(
@@ -276,7 +293,8 @@ def _run_e2e(
         ),
     )
     session = Session(
-        config=config, task=task, sampler=sampler, accelerator=accelerator
+        config=config, task=task, sampler=sampler, accelerator=accelerator,
+        backend=backend,
     )
     frames = [
         FrameRequest.from_frame(source.generate_frame(i))
@@ -295,7 +313,8 @@ def _run_e2e(
 
     spec = source.spec
     print(f"benchmark: {spec.name} ({spec.application}, model {spec.model})")
-    print(f"pipeline: sampler={sampler} accelerator={accelerator} task={task}")
+    print(f"pipeline: sampler={sampler} accelerator={accelerator} "
+          f"backend={session.backend} task={task}")
     print(f"frame {result.frame_id}: {response.request.cloud.num_points} raw points -> "
           f"{result.preprocessing.sampled.num_points} sampled points")
     print(f"on-chip footprint: {result.preprocessing.onchip_megabits:.2f} Mb")
@@ -381,6 +400,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         # counts) depend on scheduling; serving sessions run without them
         # so every worker computes every frame identically.
         response_cache_size=0,
+        # One backend for every session built from these options: the
+        # workers *and* the sequential bit-identity reference, so the soak
+        # gate exercises the selected backend's dispatch invariance.
+        backend=args.backend,
     )
     if args.batch_rows_budget:
         session_options["batch_rows_budget"] = args.batch_rows_budget
@@ -544,6 +567,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             "shards": args.shards,
             "sampler": args.sampler,
             "accelerator": args.accelerator,
+            "backend": resolve_backend(args.backend).describe(),
             "rate_hz": args.rate_hz,
             "max_batch": args.max_batch,
             "max_wait_ms": args.max_wait_ms,
@@ -581,6 +605,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     rows = [
         ["requests served", f"{counts['completed']}/{len(requests)}"],
         ["execution x shards", f"{args.execution} x {args.shards}"],
+        ["compute backend", resolve_backend(args.backend).name],
         ["workers x max-batch", f"{args.workers} x {args.max_batch}"],
         ["micro-batches", f"{batches['count']} "
          f"(mean occupancy {batches['mean_occupancy']:.2f})"],
@@ -668,6 +693,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sampler=args.sampler,
             accelerator=args.accelerator,
             batch_size=args.batch_size,
+            backend=args.backend,
         )
     if args.command == "serve":
         return _run_serve(args)

@@ -37,6 +37,7 @@ from repro.hardware.interconnect import InterconnectModel
 from repro.hardware.memory import OnChipMemoryModel, ois_onchip_megabits
 from repro.hardware.octree_build_unit import OctreeBuildUnit
 from repro.hardware.sampling_module import DownSamplingUnit
+from repro.network.backends import resolve_backend
 from repro.network.pointnet2 import ForwardResult, build_model_for_task
 from repro.network.workload import NetworkWorkload, extract_workload
 from repro.octree.builder import Octree
@@ -234,13 +235,15 @@ class InferenceWarmState:
     """Constructed network state reused across same-shaped frames.
 
     Building the PointNet++ model (weight initialisation, layer wiring) only
-    depends on ``(task, input_size, feature_channels)`` plus the engine
-    config, not on the frame's point coordinates, so a warm engine keeps one
-    entry per shape and reuses the same model and gatherer objects for every
-    frame of that shape.
+    depends on ``(task, input_size, feature_channels, backend)`` plus the
+    engine config, not on the frame's point coordinates, so a warm engine
+    keeps one entry per shape and reuses the same model and gatherer objects
+    for every frame of that shape.  The compute backend is part of the key:
+    a model is wired to its backend at construction, so two backends must
+    never share a warm entry.
     """
 
-    key: Tuple[str, int, int]
+    key: Tuple[str, int, int, str]
     gatherer: Gatherer
     model: Any
     #: Number of forward passes served by this entry.
@@ -257,8 +260,12 @@ class InferenceEngine:
     )
     task: str = "classification"
     num_classes: Optional[int] = None
-    #: Warm model cache, keyed by (task, input_size, feature_channels).
-    _warm: Dict[Tuple[str, int, int], InferenceWarmState] = field(
+    #: Compute backend name executing the dense layers (``None`` = process
+    #: default: ``REPRO_BACKEND`` env when set, else numpy).
+    backend: Optional[str] = None
+    #: Warm model cache, keyed by (task, input_size, feature_channels,
+    #: backend name).
+    _warm: Dict[Tuple[str, int, int, str], InferenceWarmState] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
     #: How many times a model was constructed (cache misses).
@@ -271,7 +278,8 @@ class InferenceEngine:
 
     def warm_state(self, input_size: int, feature_channels: int) -> InferenceWarmState:
         """Return (building on first use) the warm state for one input shape."""
-        key = (self.task, input_size, feature_channels)
+        backend = resolve_backend(self.backend)
+        key = (self.task, input_size, feature_channels, backend.name)
         state = self._warm.get(key)
         if state is None:
             inf = self.config.inference
@@ -292,13 +300,14 @@ class InferenceEngine:
                 input_feature_channels=feature_channels,
                 neighbors=min(inf.neighbors_per_centroid, max(1, input_size // 2)),
                 seed=inf.seed,
+                backend=backend,
             )
             state = InferenceWarmState(key=key, gatherer=gatherer, model=model)
             self._warm[key] = state
             self.model_builds += 1
         return state
 
-    def warm_keys(self) -> Tuple[Tuple[str, int, int], ...]:
+    def warm_keys(self) -> Tuple[Tuple[str, int, int, str], ...]:
         return tuple(self._warm)
 
     def process(self, sampled: PointCloud) -> InferenceExecution:

@@ -1,0 +1,285 @@
+"""Compute-backend contract: how the network forward executes its layers.
+
+A :class:`ComputeBackend` owns the *execution strategy* of the row-wise
+dense layers (shared MLPs, FP refinements, heads) that dominate the stacked
+PointNet++ forward: every layer application in
+:mod:`repro.network.pointnet2` -- single-frame and batched alike -- goes
+through :meth:`ComputeBackend.apply`.  Swapping the backend changes *how*
+``x @ W + b`` / batch-norm / ReLU are scheduled (one whole-array pass per
+op, cache-blocked fused passes, torch kernels, ...) but never *what* is
+computed, and every backend declares how close its outputs are to the
+default numpy backend via an explicit :class:`EquivalenceContract`:
+
+* ``bit_identical`` -- outputs are byte-for-byte the numpy results; the
+  existing bit-identity gates (batch dispatch, serving soak, chaos soak)
+  hold verbatim.
+* ``allclose`` -- outputs match within a stated ``atol``/``rtol``
+  tolerance (floating-point re-association from fusion, blocking, or a
+  different BLAS), enforced by ``tests/test_backends.py`` and the
+  ``forward_fused_vs_numpy`` benchmark scenario.
+
+Orthogonally to the numpy-equivalence contract, every backend MUST be
+**dispatch invariant**: applying a stacked ``(B * rows, C)`` operand frame
+by frame or as one batch must produce bit-identical rows *for that same
+backend*.  That invariance is what keeps ``Session.run_batch(batched=True)``
+bit-identical to the sequential path -- and the serving/chaos soaks green --
+under every backend, not just numpy.  Backends either guarantee it by
+construction (the fused backend's blocks never span frames) or calibrate it
+per layer shape with :meth:`ComputeBackend.stack_rows_safe` and fall back
+to per-frame dispatch where the probe fails (the numpy and torch backends).
+
+The calibration cache is keyed on the **backend name** as well as the layer
+shape: two backends sharing a process (or two BLAS configurations behind
+them) must not poison each other's verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.layers import BatchNorm, Dense, SharedMLP
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised when a registered backend cannot run on this host.
+
+    The message says what is missing (e.g. ``torch``), so a CLI user asking
+    for an optional backend gets a diagnosis instead of an ImportError deep
+    inside the forward pass.
+    """
+
+
+@dataclass(frozen=True)
+class EquivalenceContract:
+    """Declared closeness of a backend's outputs to the numpy backend's.
+
+    ``kind`` is ``"bit_identical"`` or ``"allclose"``; the tolerances are
+    only meaningful for the latter.  The contract object itself is what the
+    tests and the benchmark harness consume, so the asserted tolerance can
+    never drift from the declared one.
+    """
+
+    kind: str
+    atol: float = 0.0
+    rtol: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("bit_identical", "allclose"):
+            raise ValueError(
+                f"contract kind must be 'bit_identical' or 'allclose', "
+                f"got {self.kind!r}"
+            )
+
+    def matches(self, actual: np.ndarray, expected: np.ndarray) -> bool:
+        """Whether ``actual`` satisfies this contract against ``expected``."""
+        actual = np.asarray(actual)
+        expected = np.asarray(expected)
+        if actual.shape != expected.shape:
+            return False
+        if self.kind == "bit_identical":
+            return bool(np.array_equal(actual, expected))
+        return bool(
+            np.allclose(actual, expected, atol=self.atol, rtol=self.rtol)
+        )
+
+    def describe(self) -> str:
+        if self.kind == "bit_identical":
+            return "bit_identical"
+        return f"allclose(atol={self.atol:g}, rtol={self.rtol:g})"
+
+
+#: Per-backend stacking calibration cache, keyed by
+#: ``(backend_name, in_features, out_features, rows_per_frame, num_frames)``.
+#: The backend name is part of the key deliberately: the verdict certifies
+#: one backend's kernels at one operand shape, and must not leak to another
+#: backend probing the same shapes (the pre-backend module-level cache in
+#: ``network/pointnet2.py`` was keyed on shape alone).
+_CALIBRATION: Dict[Tuple[str, int, int, int, int], bool] = {}
+
+
+def clear_calibration_cache() -> None:
+    """Drop every cached stacking verdict (test isolation hook)."""
+    _CALIBRATION.clear()
+
+
+@dataclass(frozen=True)
+class DenseStage:
+    """One fused-view stage of a layer chain: matmul + folded epilogue.
+
+    ``weight`` feeds the matmul; the epilogue is ``y * scale + shift``
+    followed by an optional ReLU.  ``scale is None`` means no scaling
+    (plain ``y + shift``).  For a Dense+BatchNorm pair the batch-norm
+    affine transform folds into ``scale``/``shift`` together with the
+    dense bias::
+
+        bn(x @ W + b) = (x @ W + b - mean) * s + beta        s = gamma / sqrt(var + eps)
+                      = (x @ W) * s + ((b - mean) * s + beta)
+
+    which is exactly one multiply and one add per output element instead
+    of the four whole-array passes (bias, subtract, scale, shift) the
+    unfused path streams through DRAM.
+    """
+
+    weight: np.ndarray
+    scale: Optional[np.ndarray]
+    shift: np.ndarray
+    relu: bool
+
+    @property
+    def in_features(self) -> int:
+        return int(self.weight.shape[0])
+
+    @property
+    def out_features(self) -> int:
+        return int(self.weight.shape[1])
+
+
+def dense_shapes(layer) -> List[Tuple[int, int]]:
+    """The ``(in_features, out_features)`` pairs a layer applies row-wise."""
+    if isinstance(layer, SharedMLP):
+        return [(d.in_features, d.out_features) for d in layer.layers]
+    return [(layer.in_features, layer.out_features)]
+
+
+def fold_stages(layer) -> List[DenseStage]:
+    """Decompose a Dense or SharedMLP into fused matmul+epilogue stages.
+
+    A bare :class:`Dense` becomes one stage with no scaling and no ReLU
+    (callers such as the classification head apply their own activation,
+    exactly as on the unfused path).  A :class:`SharedMLP` contributes one
+    stage per dense layer with its batch-norm folded in and the ReLU flag
+    matching ``final_activation``.
+    """
+    if isinstance(layer, Dense):
+        return [
+            DenseStage(
+                weight=layer.weight, scale=None, shift=layer.bias, relu=False
+            )
+        ]
+    if not isinstance(layer, SharedMLP):
+        raise TypeError(
+            f"compute backends apply Dense or SharedMLP layers, "
+            f"got {type(layer).__name__}"
+        )
+    stages: List[DenseStage] = []
+    last = len(layer.layers) - 1
+    for i, dense in enumerate(layer.layers):
+        norm: Optional[BatchNorm] = layer.norms[i]
+        relu = i < last or layer.final_activation
+        if norm is None:
+            stages.append(
+                DenseStage(
+                    weight=dense.weight,
+                    scale=None,
+                    shift=dense.bias,
+                    relu=relu,
+                )
+            )
+        else:
+            scale = norm.gamma / np.sqrt(norm.running_var + norm.eps)
+            shift = (dense.bias - norm.running_mean) * scale + norm.beta
+            stages.append(
+                DenseStage(weight=dense.weight, scale=scale, shift=shift, relu=relu)
+            )
+    return stages
+
+
+class ComputeBackend:
+    """Base class of the pluggable network-execution backends.
+
+    Subclasses implement :meth:`apply` (and optionally override the
+    stacking probe).  Instances are cheap, stateless value objects -- they
+    travel inside pickled Sessions to worker processes -- and all
+    calibration state lives in the module-level per-name cache.
+    """
+
+    #: Registry name (``registry.create("backend", name)``).
+    name: str = "abstract"
+    #: Declared closeness to the numpy backend's outputs.
+    contract: EquivalenceContract = EquivalenceContract(kind="bit_identical")
+    #: Default ``Session.batch_rows_budget`` (stacked down-sampled points
+    #: per batch-native dispatch) when the user does not override it.  This
+    #: is the per-backend half of the calibration: backends whose working
+    #: set stays cache-sized under stacking sustain a higher budget.
+    default_rows_budget: int = 512
+
+    # ------------------------------------------------------------------
+    def apply(
+        self, layer, flat: np.ndarray, num_frames: int = 1
+    ) -> np.ndarray:
+        """Apply a row-wise layer to a stacked ``(num_frames * rows, C)`` operand.
+
+        Must be dispatch invariant: the rows of ``apply(layer, stacked, B)``
+        must be bit-identical to concatenating ``apply(layer, frame, 1)``
+        over the B frames.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def stack_rows_safe(
+        self,
+        in_features: int,
+        out_features: int,
+        rows_per_frame: int,
+        num_frames: int,
+    ) -> bool:
+        """Whether stacking frames leaves this backend's row results unchanged.
+
+        The verdict is probed once per ``(backend, layer shape)`` via
+        :meth:`_probe_stacking` at the *exact* operand shapes of the
+        dispatch and cached in the module-level per-backend cache -- the
+        one-time cost (about one extra layer application) is paid the first
+        time a backend sees a dispatch shape.
+        """
+        key = (self.name, in_features, out_features, rows_per_frame, num_frames)
+        cached = _CALIBRATION.get(key)
+        if cached is None:
+            cached = bool(
+                self._probe_stacking(
+                    in_features, out_features, rows_per_frame, num_frames
+                )
+            )
+            _CALIBRATION[key] = cached
+        return cached
+
+    def _probe_stacking(
+        self,
+        in_features: int,
+        out_features: int,
+        rows_per_frame: int,
+        num_frames: int,
+    ) -> bool:
+        """Probe the backend's matmul kernel for stacking invariance.
+
+        The default probe runs the backend's own matmul via
+        :meth:`_probe_matmul` on a random ``(rows_per_frame, in_features)``
+        operand against itself tiled ``num_frames`` times, so any
+        kernel-selection threshold the real shapes straddle is the one being
+        tested (a fixed probe shape could certify a regime the real operands
+        never run in).
+        """
+        rng = np.random.default_rng(1_000_003 * in_features + out_features)
+        x = rng.standard_normal((rows_per_frame, in_features))
+        weight = rng.standard_normal((in_features, out_features))
+        small = self._probe_matmul(x, weight)
+        tiled = self._probe_matmul(np.tile(x, (num_frames, 1)), weight)
+        return bool(np.array_equal(tiled, np.tile(small, (num_frames, 1))))
+
+    def _probe_matmul(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """The matmul kernel the stacking probe certifies (numpy by default)."""
+        return x @ weight
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Metadata for metrics reports and the CLI."""
+        return {
+            "name": self.name,
+            "contract": self.contract.describe(),
+            "default_rows_budget": self.default_rows_budget,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -18,7 +18,7 @@ on their hardware cost models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,87 +26,19 @@ from repro.datastructuring.base import Gatherer, GatherResult, pick_random_centr
 from repro.datastructuring.knn import BruteForceKNN
 from repro.geometry.pointcloud import PointCloud
 from repro.kernels import frame_offsets, stack_frames
+from repro.network.backends import ComputeBackend, resolve_backend
 from repro.network.layers import Dense, ReLU, SharedMLP, max_pool_groups, softmax
 
-
-#: Cache of the stacking calibration (see :func:`_stack_rows_safe`).
-#: Keyed by ``(in_features, out_features, rows_per_frame, num_frames)``.
-_STACK_SAFE: dict = {}
-
-
-def _stack_rows_safe(
-    in_features: int, out_features: int, rows_per_frame: int, num_frames: int
-) -> bool:
-    """Whether ``x @ W`` row results are invariant to stacking more rows.
-
-    Mathematically every output row of a matmul is an independent dot
-    product, but BLAS implementations select different micro-kernels by
-    operand shape (e.g. a small-matrix path below a row-count threshold, or
-    different edge handling for odd output widths), and the kernels may sum
-    the reduction axis in different orders.  When that happens, the rows of
-    a stacked ``(B * M, k)`` matmul are *not* bit-identical to B separate
-    ``(M, k)`` matmuls.
-
-    This probe calibrates the question against the BLAS that is actually
-    linked, at the *exact* operand shapes of the dispatch: a random
-    ``(rows_per_frame, in_features)`` operand is compared against itself
-    tiled ``num_frames`` times, so any kernel-selection threshold the real
-    shapes straddle is the one being tested (a fixed probe shape could
-    certify a regime the real operands never run in).  The verdict is
-    cached per shape tuple, so the one-time cost -- about one extra layer
-    application -- is only paid the first time a dispatch shape is seen.
-    Layers that fail the probe are dispatched per frame by
-    :func:`_apply_shared` so the batched forward stays bit-identical to
-    the sequential one.
-    """
-    key = (in_features, out_features, rows_per_frame, num_frames)
-    cached = _STACK_SAFE.get(key)
-    if cached is None:
-        rng = np.random.default_rng(1_000_003 * in_features + out_features)
-        x = rng.standard_normal((rows_per_frame, in_features))
-        weight = rng.standard_normal((in_features, out_features))
-        small = x @ weight
-        tiled = np.tile(x, (num_frames, 1)) @ weight
-        cached = bool(np.array_equal(tiled, np.tile(small, (num_frames, 1))))
-        _STACK_SAFE[key] = cached
-    return cached
-
-
-def _dense_shapes(layer) -> List[Tuple[int, int]]:
-    """The ``(in_features, out_features)`` pairs a layer applies row-wise."""
-    if isinstance(layer, SharedMLP):
-        return [(d.in_features, d.out_features) for d in layer.layers]
-    return [(layer.in_features, layer.out_features)]
-
-
-def _apply_shared(layer, flat: np.ndarray, num_frames: int) -> np.ndarray:
-    """Apply a row-wise layer to a stacked ``(B * rows, C)`` operand.
-
-    The whole batch runs as one matmul per dense layer when that is
-    bit-identical to the per-frame dispatch, which is the case for
-    multi-row operands whose layer shapes pass the one-time
-    :func:`_stack_rows_safe` calibration.  Two cases fall back to one call
-    per frame to preserve bit-identity with the sequential forward:
-
-    * single-row per-frame operands (BLAS's matrix-vector path sums in a
-      different order than the stacked GEMM), and
-    * layer widths whose BLAS edge kernels are row-count dependent (e.g.
-      the 50-class part-segmentation head on OpenBLAS).
-    """
-    rows_per_frame = flat.shape[0] // num_frames
-    if num_frames == 1:
-        return layer(flat)
-    if rows_per_frame >= 2 and all(
-        _stack_rows_safe(k, n, rows_per_frame, num_frames)
-        for k, n in _dense_shapes(layer)
-    ):
-        return layer(flat)
-    return np.concatenate(
-        [
-            layer(flat[b * rows_per_frame : (b + 1) * rows_per_frame])
-            for b in range(num_frames)
-        ]
-    )
+# Every dense-layer application below -- single-frame and stacked alike --
+# goes through a pluggable ComputeBackend (repro/network/backends/): the
+# default numpy backend reproduces the historical whole-operand path
+# bit-identically (including the per-(backend, layer-shape) stacking
+# calibration and its single-row / BLAS-edge per-frame fallbacks), while
+# alternative backends (fused blocked MLP, torch) swap the execution
+# strategy behind the same seam under explicit equivalence contracts.
+# Routing *both* forward paths through the backend is what keeps the
+# batched path bit-identical to the sequential one under every backend,
+# not just numpy.
 
 
 @dataclass
@@ -165,6 +97,10 @@ class SetAbstraction:
     gatherer:
         Data structuring method; brute-force KNN by default so the layer is
         self-contained, HgPCN substitutes VEG.
+    backend:
+        Compute backend executing the shared MLP (name, instance, or
+        ``None`` for the process default -- the numpy backend unless
+        ``REPRO_BACKEND`` overrides it).
     """
 
     def __init__(
@@ -175,6 +111,7 @@ class SetAbstraction:
         mlp_channels: Sequence[int],
         gatherer: Optional[Gatherer] = None,
         seed: int = 0,
+        backend: Union[None, str, ComputeBackend] = None,
     ):
         self.name = name
         self.num_centroids = num_centroids
@@ -182,6 +119,7 @@ class SetAbstraction:
         self.mlp = SharedMLP(list(mlp_channels), name=f"{name}.mlp")
         self.gatherer = gatherer or BruteForceKNN()
         self.seed = seed
+        self.backend = resolve_backend(backend)
 
     def __call__(
         self,
@@ -227,7 +165,9 @@ class SetAbstraction:
                 f"{self.name}: MLP expects {self.mlp.in_features} input "
                 f"channels, got {flat.shape[-1]}"
             )
-        transformed = self.mlp(flat).reshape(num_groups, group_size, -1)
+        transformed = self.backend.apply(self.mlp, flat).reshape(
+            num_groups, group_size, -1
+        )
         new_features = max_pool_groups(transformed)
 
         trace.layers.append(
@@ -330,7 +270,7 @@ class SetAbstraction:
                 f"{self.name}: MLP expects {self.mlp.in_features} input "
                 f"channels, got {flat.shape[-1]}"
             )
-        transformed = _apply_shared(self.mlp, flat, num_frames).reshape(
+        transformed = self.backend.apply(self.mlp, flat, num_frames).reshape(
             num_frames, num_groups, group_size, -1
         )
         new_features = transformed.max(axis=2)  # (B, M, C_out)
@@ -355,9 +295,15 @@ class FeaturePropagation:
     then refined by a shared MLP (the standard PointNet++ FP layer).
     """
 
-    def __init__(self, name: str, mlp_channels: Sequence[int]):
+    def __init__(
+        self,
+        name: str,
+        mlp_channels: Sequence[int],
+        backend: Union[None, str, ComputeBackend] = None,
+    ):
         self.name = name
         self.mlp = SharedMLP(list(mlp_channels), name=f"{name}.mlp")
+        self.backend = resolve_backend(backend)
 
     def __call__(
         self,
@@ -395,7 +341,7 @@ class FeaturePropagation:
                 f"{self.name}: MLP expects {self.mlp.in_features} input "
                 f"channels, got {combined.shape[-1]}"
             )
-        refined = self.mlp(combined)
+        refined = self.backend.apply(self.mlp, combined)
         trace = LayerTrace(
             name=f"{self.name}.mlp",
             num_vectors=combined.shape[0],
@@ -462,7 +408,7 @@ class FeaturePropagation:
                 f"{self.name}: MLP expects {self.mlp.in_features} input "
                 f"channels, got {combined.shape[-1]}"
             )
-        refined = _apply_shared(self.mlp, combined, num_frames)
+        refined = self.backend.apply(self.mlp, combined, num_frames)
         traces = [
             LayerTrace(
                 name=f"{self.name}.mlp",
@@ -486,10 +432,12 @@ class PointNet2Classification:
         neighbors: int = 32,
         gatherer: Optional[Gatherer] = None,
         seed: int = 0,
+        backend: Union[None, str, ComputeBackend] = None,
     ):
         self.num_classes = num_classes
         self.input_feature_channels = input_feature_channels
         self.input_size = input_size
+        self.backend = resolve_backend(backend)
         sa1_centroids = max(1, input_size // 2)
         sa2_centroids = max(1, input_size // 8)
         self.sa1 = SetAbstraction(
@@ -499,6 +447,7 @@ class PointNet2Classification:
             [3 + input_feature_channels, 64, 64, 128],
             gatherer=gatherer,
             seed=seed,
+            backend=self.backend,
         )
         self.sa2 = SetAbstraction(
             "sa2",
@@ -507,9 +456,16 @@ class PointNet2Classification:
             [3 + 128, 128, 128, 256],
             gatherer=gatherer,
             seed=seed + 1,
+            backend=self.backend,
         )
         self.sa3 = SetAbstraction(
-            "sa3", None, 1, [3 + 256, 256, 512, 1024], gatherer=gatherer, seed=seed + 2
+            "sa3",
+            None,
+            1,
+            [3 + 256, 256, 512, 1024],
+            gatherer=gatherer,
+            seed=seed + 2,
+            backend=self.backend,
         )
         self.fc1 = Dense(1024, 512, name="cls.fc1")
         self.fc2 = Dense(512, 256, name="cls.fc2")
@@ -530,7 +486,7 @@ class PointNet2Classification:
         head_traces: List[LayerTrace] = []
         x = feat3
         for fc in (self.fc1, self.fc2):
-            x = self._relu(fc(x))
+            x = self._relu(self.backend.apply(fc, x))
             head_traces.append(
                 LayerTrace(
                     name=fc.name,
@@ -539,7 +495,7 @@ class PointNet2Classification:
                     output_channels=fc.out_features,
                 )
             )
-        logits = self.fc3(x)
+        logits = self.backend.apply(self.fc3, x)
         head_traces.append(
             LayerTrace(
                 name=self.fc3.name,
@@ -559,8 +515,8 @@ class PointNet2Classification:
         the whole batch).  The classification head operates on one global
         feature vector per frame -- a single-row operand, which BLAS
         dispatches through its matrix-vector path -- so it runs per frame to
-        stay bit-identical to the sequential forward (see
-        :func:`_apply_shared`).  Returns one per-frame
+        stay bit-identical to the sequential forward (the backend's
+        single-frame dispatch).  Returns one per-frame
         :class:`ForwardResult`, bit-identical to ``forward`` on each frame.
         """
         clouds = list(batch.clouds)
@@ -576,7 +532,7 @@ class PointNet2Classification:
             head_traces: List[LayerTrace] = []
             x = feat3[b]  # (1, 1024): single-row head operand
             for fc in (self.fc1, self.fc2):
-                x = self._relu(fc(x))
+                x = self._relu(self.backend.apply(fc, x))
                 head_traces.append(
                     LayerTrace(
                         name=fc.name,
@@ -585,7 +541,7 @@ class PointNet2Classification:
                         output_channels=fc.out_features,
                     )
                 )
-            logits = self.fc3(x)
+            logits = self.backend.apply(self.fc3, x)
             head_traces.append(
                 LayerTrace(
                     name=self.fc3.name,
@@ -615,10 +571,12 @@ class PointNet2Segmentation:
         neighbors: int = 32,
         gatherer: Optional[Gatherer] = None,
         seed: int = 0,
+        backend: Union[None, str, ComputeBackend] = None,
     ):
         self.num_classes = num_classes
         self.input_feature_channels = input_feature_channels
         self.input_size = input_size
+        self.backend = resolve_backend(backend)
         sa1_centroids = max(1, input_size // 4)
         sa2_centroids = max(1, input_size // 16)
         self.sa1 = SetAbstraction(
@@ -628,6 +586,7 @@ class PointNet2Segmentation:
             [3 + input_feature_channels, 64, 64, 128],
             gatherer=gatherer,
             seed=seed,
+            backend=self.backend,
         )
         self.sa2 = SetAbstraction(
             "sa2",
@@ -636,10 +595,13 @@ class PointNet2Segmentation:
             [3 + 128, 128, 128, 256],
             gatherer=gatherer,
             seed=seed + 1,
+            backend=self.backend,
         )
-        self.fp1 = FeaturePropagation("fp1", [256 + 128, 256, 128])
+        self.fp1 = FeaturePropagation(
+            "fp1", [256 + 128, 256, 128], backend=self.backend
+        )
         self.fp0 = FeaturePropagation(
-            "fp0", [128 + input_feature_channels, 128, 128]
+            "fp0", [128 + input_feature_channels, 128, 128], backend=self.backend
         )
         self.head = Dense(128, num_classes, name="seg.head")
 
@@ -658,7 +620,7 @@ class PointNet2Segmentation:
         up0, fp_trace0 = self.fp0(cloud, features, cloud1, up1)
         head_traces.append(fp_trace0)
 
-        logits = self.head(up0)
+        logits = self.backend.apply(self.head, up0)
         head_traces.append(
             LayerTrace(
                 name=self.head.name,
@@ -691,7 +653,7 @@ class PointNet2Segmentation:
 
         num_dense = up0.shape[1]
         flat = up0.reshape(num_frames * num_dense, -1)
-        logits = _apply_shared(self.head, flat, num_frames).reshape(
+        logits = self.backend.apply(self.head, flat, num_frames).reshape(
             num_frames, num_dense, -1
         )
 
@@ -720,11 +682,13 @@ def build_model_for_task(
     input_feature_channels: int = 0,
     neighbors: int = 32,
     seed: int = 0,
+    backend: Union[None, str, ComputeBackend] = None,
 ):
     """Factory matching the Table I task names.
 
     ``task`` is one of ``"classification"``, ``"part_segmentation"``,
-    ``"semantic_segmentation"``.
+    ``"semantic_segmentation"``.  ``backend`` selects the compute backend
+    executing the dense layers (``None`` = process default).
     """
     if task == "classification":
         return PointNet2Classification(
@@ -734,6 +698,7 @@ def build_model_for_task(
             neighbors=neighbors,
             gatherer=gatherer,
             seed=seed,
+            backend=backend,
         )
     if task == "part_segmentation":
         return PointNet2Segmentation(
@@ -743,6 +708,7 @@ def build_model_for_task(
             neighbors=neighbors,
             gatherer=gatherer,
             seed=seed,
+            backend=backend,
         )
     if task == "semantic_segmentation":
         return PointNet2Segmentation(
@@ -752,6 +718,7 @@ def build_model_for_task(
             neighbors=neighbors,
             gatherer=gatherer,
             seed=seed,
+            backend=backend,
         )
     raise ValueError(
         "task must be 'classification', 'part_segmentation' or "

@@ -32,7 +32,14 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 Factory = Callable[..., Any]
 
 #: The component kinds the registry knows about.
-KINDS: Tuple[str, ...] = ("sampler", "gatherer", "accelerator", "dataset", "engine")
+KINDS: Tuple[str, ...] = (
+    "sampler",
+    "gatherer",
+    "accelerator",
+    "dataset",
+    "engine",
+    "backend",
+)
 
 #: Modules whose import registers the built-in implementations of each kind.
 _BUILTIN_MODULES: Dict[str, Tuple[str, ...]] = {
@@ -41,6 +48,7 @@ _BUILTIN_MODULES: Dict[str, Tuple[str, ...]] = {
     "accelerator": ("repro.accelerators",),
     "dataset": ("repro.datasets",),
     "engine": ("repro.core",),
+    "backend": ("repro.network.backends",),
 }
 
 _factories: Dict[str, Dict[str, Factory]] = {kind: {} for kind in KINDS}

@@ -51,8 +51,33 @@ def fps_counter_model(num_points: int, num_samples: int) -> OpCounters:
     return counters
 
 
+#: Candidate-block length of the blocked distance update.  65536 candidates
+#: keep one block's scratch (two component buffers plus the block's slices
+#: of the coordinate columns and the running-min array, ~2.5 MiB)
+#: cache-resident, where the whole-array update materialises a full
+#: difference matrix and squared temporaries per pick and then re-streams
+#: the complete nearest-distance array for the argmax.
+_FPS_BLOCK_ROWS = 65536
+
+
 class FarthestPointSampler(Sampler):
-    """Exact farthest-point sampling with operation accounting."""
+    """Exact farthest-point sampling with operation accounting.
+
+    The per-pick distance update runs as the standard blocked
+    distance-matrix update: candidate points are processed in cache-sized
+    blocks, and each block's distance computation, running-min update, and
+    argmax contribution happen in one pass while the block is hot.  The
+    coordinates are transposed once into contiguous per-component columns,
+    so every kernel of the update is a contiguous 1-D ufunc instead of a
+    strided ``axis=1`` reduction.  The squared distance accumulates as
+    ``((dx^2 + dy^2) + dz^2)`` -- the same left-to-right association numpy's
+    short-axis ``sum(axis=1)`` uses -- and the minimum / strict-greater
+    argmax scans compare the same values in the same order as the
+    whole-array update, so picks and the diagnostic radius are bit-identical
+    to it (and to the frozen scalar reference, see
+    ``repro.kernels.reference.fps_scalar``): blocking changes the schedule,
+    not the values.
+    """
 
     name = "fps"
 
@@ -95,20 +120,56 @@ class FarthestPointSampler(Sampler):
         # clouds the equivalence tests and benchmarks run on.
         nearest_sq = np.full(num_points, np.inf)
 
+        # One transpose pays for contiguous per-component columns across
+        # every pick's update.
+        columns = np.ascontiguousarray(points.T)
+        num_dims = columns.shape[0]
+        block = _FPS_BLOCK_ROWS
+        width = min(block, num_points)
+        dist = np.empty(width)
+        component = np.empty(width)
+
+        def update_block(start: int, stop: int, last: np.ndarray) -> np.ndarray:
+            """Min-update ``nearest_sq[start:stop]`` against ``last`` in place."""
+            size = stop - start
+            acc = dist[:size]
+            np.subtract(columns[0, start:stop], last[0], out=acc)
+            acc *= acc
+            for dim in range(1, num_dims):
+                part = component[:size]
+                np.subtract(columns[dim, start:stop], last[dim], out=part)
+                part *= part
+                acc += part
+            near = nearest_sq[start:stop]
+            np.minimum(near, acc, out=near)
+            return near
+
         for k in range(1, num_samples):
-            last = points[selected[k - 1]]
-            dist_sq = ((points - last) ** 2).sum(axis=1)
-            np.minimum(nearest_sq, dist_sq, out=nearest_sq)
-            # Already-picked points can never be re-selected, even when the
-            # cloud contains exact duplicates (all remaining distances zero).
-            nearest_sq[selected[k - 1]] = -np.inf
-            selected[k] = int(np.argmax(nearest_sq))
+            last_index = int(selected[k - 1])
+            last = points[last_index]
+            best_value = -np.inf
+            best_index = 0
+            for start in range(0, num_points, block):
+                stop = min(start + block, num_points)
+                near = update_block(start, stop, last)
+                # Already-picked points can never be re-selected, even when
+                # the cloud contains exact duplicates (all remaining
+                # distances zero); the marker must land before this block's
+                # argmax contribution.
+                if start <= last_index < stop:
+                    near[last_index - start] = -np.inf
+                local = int(np.argmax(near))
+                # Strict > keeps the earliest block on ties, matching the
+                # first-occurrence convention of a whole-array argmax.
+                if near[local] > best_value:
+                    best_value = float(near[local])
+                    best_index = start + local
+            selected[k] = best_index
         # Mark the final pick's influence for completeness (not needed for
         # selection, but keeps nearest_sq meaningful for diagnostics).
-        last = points[selected[-1]]
-        np.minimum(
-            nearest_sq, ((points - last) ** 2).sum(axis=1), out=nearest_sq
-        )
+        last = points[int(selected[-1])]
+        for start in range(0, num_points, block):
+            update_block(start, min(start + block, num_points), last)
 
         count_n = self._count_at_scale or num_points
         counters = fps_counter_model(count_n, num_samples)

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import registry
 from repro.core.config import HgPCNConfig
 from repro.core.engine import InferenceEngine, PreprocessingEngine
 from repro.core.framebatch import FrameBatch
@@ -47,6 +48,7 @@ from repro.core.pipeline import EndToEndResult, SequenceResult
 from repro.datasets.base import Frame, PointCloudDataset
 from repro.datasets.lidar import LidarSensorModel
 from repro.geometry.pointcloud import PointCloud
+from repro.network.backends import get_backend, resolve_backend
 
 #: Anything :meth:`Session.run` accepts as a frame.
 FrameLike = Union["FrameRequest", Frame, PointCloud]
@@ -171,10 +173,19 @@ class Session:
         sub-batches of ``max(1, budget // N)`` frames.  Stacked network
         operands grow linearly with the sub-batch, and once they outgrow
         the CPU caches the elementwise passes (bias, batch-norm, ReLU)
-        stream from main memory and the batch win inverts -- the default
-        keeps the working set cache-sized while still amortising the
-        per-frame dispatch overhead.  Responses are bit-identical for every
-        budget (sub-batching changes operand shapes, not results).
+        stream from main memory and the batch win inverts -- so the budget
+        is a *per-backend* calibration: ``None`` (the default) adopts the
+        selected compute backend's ``default_rows_budget`` (512 for the
+        whole-operand numpy backend; higher for the fused backend, whose
+        working set is one cache-sized block regardless of the stack).
+        Responses are bit-identical for every budget (sub-batching changes
+        operand shapes, not results).
+    backend:
+        Registry name of the compute backend executing the dense network
+        layers (``available("backend")``), or ``None`` for the process
+        default (``REPRO_BACKEND`` env when set, else ``numpy``).  The
+        backend is part of the warm-model cache key and is inherited by
+        serving workers built from this session's options.
     preprocessing_engine / inference_engine:
         Pre-built engines to adopt (used by the :class:`HgPCNSystem` shim);
         when given they override ``sampler`` / ``accelerator``.
@@ -187,27 +198,40 @@ class Session:
         sampler: str = "ois",
         accelerator: Union[str, Any] = "hgpcn",
         response_cache_size: int = 64,
-        batch_rows_budget: int = 512,
+        batch_rows_budget: Optional[int] = None,
+        backend: Optional[str] = None,
         preprocessing_engine: Optional[PreprocessingEngine] = None,
         inference_engine: Optional[InferenceEngine] = None,
     ):
         self.config = config if config is not None else HgPCNConfig()
         self.task = task
+        if backend is not None:
+            # Fail fast on typos: resolve through the registry up front
+            # rather than at the first forward pass.
+            registry.get_factory("backend", backend)
         if preprocessing_engine is None:
             preprocessing_engine = PreprocessingEngine(
                 config=self.config, sampler_name=sampler
             )
         if inference_engine is None:
             if isinstance(accelerator, str):
-                from repro import registry
-
                 accelerator = registry.create("accelerator", accelerator)
             inference_engine = InferenceEngine(
-                config=self.config, accelerator=accelerator, task=task
+                config=self.config,
+                accelerator=accelerator,
+                task=task,
+                backend=backend,
             )
+        elif backend is not None and inference_engine.backend is None:
+            inference_engine.backend = backend
         self.preprocessing_engine = preprocessing_engine
         self.inference_engine = inference_engine
+        self.backend = resolve_backend(
+            backend if backend is not None else inference_engine.backend
+        ).name
         self.response_cache_size = max(0, int(response_cache_size))
+        if batch_rows_budget is None:
+            batch_rows_budget = get_backend(self.backend).default_rows_budget
         self.batch_rows_budget = max(1, int(batch_rows_budget))
         self._response_cache: "OrderedDict[str, FrameResponse]" = OrderedDict()
         self.frames_processed = 0
@@ -238,7 +262,7 @@ class Session:
         """How many networks this session constructed (cache misses)."""
         return self.inference_engine.model_builds
 
-    def warm_keys(self) -> Tuple[Tuple[str, int, int], ...]:
+    def warm_keys(self) -> Tuple[Tuple[str, int, int, str], ...]:
         """Shape keys currently held warm by the inference engine."""
         return self.inference_engine.warm_keys()
 
@@ -257,6 +281,7 @@ class Session:
             "warm_shapes": len(self.warm_keys()),
             "response_cache_entries": len(self._response_cache),
             "response_cache_hits": self.cache_hits,
+            "backend": self.backend,
         }
 
     # -- single-frame path ---------------------------------------------

@@ -1,0 +1,370 @@
+"""Equivalence suite for the pluggable compute backends.
+
+Every registered backend is held to the two-tier contract documented in
+``repro/network/backends/base.py``:
+
+* **numpy equivalence** -- outputs match the numpy backend's to the
+  backend's *declared* :class:`EquivalenceContract` (bit-identity for
+  numpy itself, a stated allclose tolerance for fused/torch).  The tests
+  assert through the contract object, so the asserted tolerance can never
+  drift from the declared one.
+* **dispatch invariance** -- stacked and per-frame application agree
+  bit-for-bit *within* each backend, including the single-row and
+  BLAS-edge shapes where the numpy backend's calibration probe forces the
+  per-frame fallback.  This is the property the serving bit-identity
+  gates rest on.
+
+Torch cases are ``skipif``-guarded; on hosts without torch the backend is
+not registered at all and the parametrized suite covers numpy + fused.
+"""
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.core.framebatch import FrameBatch
+from repro.datasets.synthetic import sample_cad_shape
+from repro.network.backends import (
+    clear_calibration_cache,
+    default_backend_name,
+    get_backend,
+    resolve_backend,
+    torch_available,
+)
+from repro.network.backends.base import (
+    _CALIBRATION,
+    ComputeBackend,
+    EquivalenceContract,
+    fold_stages,
+)
+from repro.network.backends.numpy_backend import NumpyBackend
+from repro.network.layers import Dense, SharedMLP
+from repro.network.pointnet2 import build_model_for_task
+
+BACKEND_NAMES = registry.available("backend")
+
+
+def _per_frame_reference(layer, flat: np.ndarray, num_frames: int) -> np.ndarray:
+    """Ground truth: the unstacked layer applied frame by frame."""
+    rows = flat.shape[0] // num_frames
+    return np.concatenate(
+        [layer(flat[b * rows : (b + 1) * rows]) for b in range(num_frames)]
+    )
+
+
+def _layers():
+    return [
+        ("shared_mlp", SharedMLP([3, 16, 32], name="t.mlp")),
+        ("shared_mlp_wide", SharedMLP([19, 64, 64, 128], name="t.wide")),
+        ("bare_dense", Dense(16, 8, name="t.dense")),
+        (
+            "mlp_no_final_relu",
+            SharedMLP([8, 16, 4], name="t.nofinal", final_activation=False),
+        ),
+    ]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert "numpy" in BACKEND_NAMES
+        assert "fused" in BACKEND_NAMES
+
+    def test_torch_registered_iff_importable(self):
+        assert ("torch" in BACKEND_NAMES) == torch_available()
+
+    def test_resolve_accepts_name_instance_and_none(self):
+        fused = get_backend("fused")
+        assert resolve_backend("fused") is fused
+        assert resolve_backend(fused) is fused
+        assert resolve_backend(None).name == default_backend_name()
+
+    def test_unknown_backend_is_self_diagnosing(self):
+        with pytest.raises(registry.UnknownComponentError):
+            resolve_backend("definitely-not-a-backend")
+
+    def test_env_override_sets_process_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fused")
+        assert default_backend_name() == "fused"
+        assert resolve_backend(None).name == "fused"
+
+    def test_describe_reports_contract(self):
+        for name in BACKEND_NAMES:
+            info = get_backend(name).describe()
+            assert info["name"] == name
+            assert info["contract"]
+            assert info["default_rows_budget"] >= 1
+
+
+class TestDeclaredContract:
+    """Each backend's outputs vs numpy, asserted via its own contract."""
+
+    @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+    @pytest.mark.parametrize("label,layer", _layers(), ids=lambda v: v if isinstance(v, str) else "")
+    @pytest.mark.parametrize("num_frames", [1, 4])
+    def test_layer_apply_matches_numpy(self, backend_name, label, layer, num_frames, rng):
+        backend = get_backend(backend_name)
+        rows = 37  # odd on purpose: exercises ragged final blocks
+        flat = rng.standard_normal((num_frames * rows, layer.in_features))
+        expected = _per_frame_reference(layer, flat, num_frames)
+        actual = backend.apply(layer, flat, num_frames)
+        assert backend.contract.matches(actual, expected), (
+            f"{backend_name} violated its {backend.contract.describe()} "
+            f"contract on {label}"
+        )
+
+    def test_numpy_contract_is_bit_identity(self):
+        assert get_backend("numpy").contract.kind == "bit_identical"
+
+    def test_fused_contract_is_documented_tolerance(self):
+        contract = get_backend("fused").contract
+        assert contract.kind == "allclose"
+        assert 0 < contract.atol <= 1e-8
+        assert 0 < contract.rtol <= 1e-6
+
+
+class TestDispatchInvariance:
+    """Stacked vs per-frame application is bit-identical per backend."""
+
+    @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+    @pytest.mark.parametrize(
+        "rows,num_frames",
+        [
+            (64, 4),
+            (1, 5),  # single-row frames: the BLAS matrix-vector edge
+            (2, 3),
+            (513, 2),  # straddles the fused backend's block boundary math
+        ],
+    )
+    def test_stacked_equals_per_frame(self, backend_name, rows, num_frames, rng):
+        backend = get_backend(backend_name)
+        layer = SharedMLP([3, 16, 32], name="t.inv")
+        flat = rng.standard_normal((num_frames * rows, 3))
+        stacked = backend.apply(layer, flat, num_frames)
+        per_frame = np.concatenate(
+            [
+                backend.apply(
+                    layer, flat[b * rows : (b + 1) * rows], 1
+                )
+                for b in range(num_frames)
+            ]
+        )
+        np.testing.assert_array_equal(stacked, per_frame)
+
+    def test_numpy_falls_back_when_probe_fails(self, rng):
+        """A failing calibration probe must force the per-frame path."""
+
+        class ProbeFailBackend(NumpyBackend):
+            name = "numpy-probe-fail-test"
+
+            def _probe_stacking(self, *args):
+                return False
+
+        backend = ProbeFailBackend()
+        layer = SharedMLP([3, 8, 8], name="t.fallback")
+        flat = rng.standard_normal((4 * 16, 3))
+        try:
+            assert not backend.stack_rows_safe(3, 8, 16, 4)
+            # Even with stacking vetoed, results stay bit-identical to the
+            # per-frame ground truth (that IS the fallback).
+            np.testing.assert_array_equal(
+                backend.apply(layer, flat, 4),
+                _per_frame_reference(layer, flat, 4),
+            )
+        finally:
+            clear_calibration_cache()
+
+
+class TestCalibrationCache:
+    def test_key_includes_backend_name(self):
+        """Two backends probing the same shape must not share a verdict."""
+
+        class AlwaysSafe(ComputeBackend):
+            name = "cache-test-safe"
+
+            def _probe_stacking(self, *args):
+                return True
+
+        class NeverSafe(ComputeBackend):
+            name = "cache-test-unsafe"
+
+            def _probe_stacking(self, *args):
+                return False
+
+        shape = (7, 11, 13, 3)
+        try:
+            assert AlwaysSafe().stack_rows_safe(*shape)
+            # The second backend's verdict must come from its own probe,
+            # not the first backend's cached entry for the same shape.
+            assert not NeverSafe().stack_rows_safe(*shape)
+            assert _CALIBRATION[("cache-test-safe",) + shape] is True
+            assert _CALIBRATION[("cache-test-unsafe",) + shape] is False
+        finally:
+            clear_calibration_cache()
+
+    def test_probe_runs_once_per_shape(self):
+        calls = []
+
+        class CountingBackend(ComputeBackend):
+            name = "cache-test-counting"
+
+            def _probe_stacking(self, *args):
+                calls.append(args)
+                return True
+
+        backend = CountingBackend()
+        try:
+            backend.stack_rows_safe(3, 16, 100, 4)
+            backend.stack_rows_safe(3, 16, 100, 4)
+            backend.stack_rows_safe(3, 16, 200, 4)  # different shape probes
+            assert len(calls) == 2
+        finally:
+            clear_calibration_cache()
+
+
+class TestFusedBlocking:
+    def test_non_divisible_rows_rejected(self, rng):
+        backend = get_backend("fused")
+        layer = SharedMLP([3, 8], name="t.div")
+        with pytest.raises(ValueError):
+            backend.apply(layer, rng.standard_normal((10, 3)), 3)
+
+    def test_empty_operand(self):
+        backend = get_backend("fused")
+        layer = SharedMLP([3, 8, 16], name="t.empty")
+        out = backend.apply(layer, np.empty((0, 3)), 1)
+        assert out.shape == (0, 16)
+
+    def test_bn_fold_matches_unfused_layer(self, rng):
+        """The scale/shift fold reproduces Dense+BN+ReLU within tolerance."""
+        layer = SharedMLP([5, 16, 8], name="t.fold")
+        # Non-trivial BN statistics so the fold actually has work to do.
+        for norm in layer.norms:
+            norm.running_mean = rng.standard_normal(norm.num_features)
+            norm.running_var = rng.uniform(0.5, 2.0, norm.num_features)
+            norm.gamma = rng.uniform(0.5, 1.5, norm.num_features)
+            norm.beta = rng.standard_normal(norm.num_features)
+        for dense in layer.layers:
+            dense.bias = rng.standard_normal(dense.out_features)
+        flat = rng.standard_normal((200, 5))
+        backend = get_backend("fused")
+        assert backend.contract.matches(
+            backend.apply(layer, flat, 1), layer(flat)
+        )
+
+    def test_stage_fold_shapes(self):
+        stages = fold_stages(SharedMLP([3, 16, 32], name="t.shapes"))
+        assert [(s.in_features, s.out_features) for s in stages] == [
+            (3, 16),
+            (16, 32),
+        ]
+        assert all(s.relu for s in stages)
+        bare = fold_stages(Dense(4, 2, name="t.bare"))
+        assert bare[0].scale is None and not bare[0].relu
+
+
+class TestModelEquivalence:
+    """Whole-model forwards across backends on seeded FrameBatches."""
+
+    @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+    @pytest.mark.parametrize(
+        "task", ["classification", "part_segmentation", "semantic_segmentation"]
+    )
+    def test_forward_batch_matches_numpy(self, backend_name, task):
+        backend = get_backend(backend_name)
+        clouds = [
+            sample_cad_shape(96, shape="box", non_uniformity=0.3, seed=60 + i)
+            for i in range(3)
+        ]
+        batch = FrameBatch.from_clouds(clouds)
+        reference = build_model_for_task(task, input_size=96, backend="numpy")
+        candidate = build_model_for_task(task, input_size=96, backend=backend_name)
+        expected = reference.forward_batch(batch)
+        actual = candidate.forward_batch(batch)
+        for got, want in zip(actual, expected):
+            assert backend.contract.matches(got.logits, want.logits)
+
+    @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+    def test_sequential_forward_matches_batched(self, backend_name):
+        """Dispatch invariance end to end: forward vs forward_batch.
+
+        The classification head runs per frame on single-row operands in
+        both paths, so this covers the single-row fallback through a real
+        model, not just the layer-level probe.
+        """
+        clouds = [
+            sample_cad_shape(96, shape="box", non_uniformity=0.3, seed=80 + i)
+            for i in range(3)
+        ]
+        model = build_model_for_task(
+            "classification", input_size=96, backend=backend_name
+        )
+        batched = model.forward_batch(FrameBatch.from_clouds(clouds))
+        for cloud, from_batch in zip(clouds, batched):
+            np.testing.assert_array_equal(
+                model.forward(cloud).logits, from_batch.logits
+            )
+
+
+class TestSessionIntegration:
+    def test_default_budget_comes_from_backend(self):
+        from repro.session import Session
+
+        # The no-argument Session adopts the process-default backend's
+        # budget (numpy's 512 normally, the REPRO_BACKEND override's in
+        # the CI fused leg).
+        assert (
+            Session().batch_rows_budget
+            == get_backend(default_backend_name()).default_rows_budget
+        )
+        assert (
+            Session(backend="fused").batch_rows_budget
+            == get_backend("fused").default_rows_budget
+        )
+        # An explicit budget always wins over the backend default.
+        assert Session(backend="fused", batch_rows_budget=64).batch_rows_budget == 64
+
+    def test_session_reports_backend(self):
+        from repro.session import Session
+
+        session = Session(backend="fused")
+        assert session.backend == "fused"
+        assert session.stats()["backend"] == "fused"
+
+    def test_unknown_backend_fails_fast(self):
+        from repro.session import Session
+
+        with pytest.raises(registry.UnknownComponentError):
+            Session(backend="not-a-backend")
+
+    def test_warm_key_includes_backend(self):
+        from repro.session import Session
+
+        session = Session(backend="fused", sampler="random")
+        cloud = sample_cad_shape(128, shape="box", seed=5)
+        session.run(cloud)
+        keys = session.inference_engine.warm_keys()
+        assert keys and all(key[3] == "fused" for key in keys)
+
+
+@pytest.mark.skipif(not torch_available(), reason="torch not installed")
+class TestTorchBackend:
+    def test_contract_against_numpy(self, rng):
+        backend = get_backend("torch")
+        layer = SharedMLP([3, 16, 32], name="t.torch")
+        flat = rng.standard_normal((4 * 37, 3))
+        assert backend.contract.matches(
+            backend.apply(layer, flat, 4),
+            _per_frame_reference(layer, flat, 4),
+        )
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        backend = get_backend("torch")
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.name == "torch"

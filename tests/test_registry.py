@@ -11,7 +11,8 @@ from repro.sampling.base import Sampler
 class TestLookup:
     def test_kinds_are_known(self):
         assert set(registry.KINDS) == {
-            "sampler", "gatherer", "accelerator", "dataset", "engine"
+            "sampler", "gatherer", "accelerator", "dataset", "engine",
+            "backend",
         }
 
     def test_available_lists_builtin_samplers(self):
