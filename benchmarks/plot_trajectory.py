@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Render the perf trajectory from ``history.jsonl`` as a standalone SVG.
+
+Dependency-free by design: the CI image carries no plotting stack, so the
+chart is hand-rolled SVG text -- one log-scale polyline per scenario over
+run index, with the commit of each run on the x axis.  The output is
+uploaded as a CI artifact next to the CSV from :mod:`to_csv`, giving every
+PR a visual diff of the speedup trajectory across the whole sequence.
+
+Usage::
+
+    python benchmarks/plot_trajectory.py                  # -> benchmarks/trajectory.svg
+    python benchmarks/plot_trajectory.py --mode quick     # quick-mode runs only
+    python benchmarks/plot_trajectory.py --only ois serving
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR))
+
+from to_csv import load_history, scenario_columns  # noqa: E402
+
+DEFAULT_HISTORY = BENCH_DIR / "history.jsonl"
+DEFAULT_OUTPUT = BENCH_DIR / "trajectory.svg"
+
+# Chart geometry (pixels).
+WIDTH, HEIGHT = 980, 560
+MARGIN_LEFT, MARGIN_RIGHT = 64, 240
+MARGIN_TOP, MARGIN_BOTTOM = 40, 56
+PLOT_W = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+PLOT_H = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+
+
+def _color(index: int, total: int) -> str:
+    """A stable, well-separated palette via hue rotation."""
+    hue = (index * 360.0 / max(total, 1) + 20 * (index % 2)) % 360
+    return f"hsl({hue:.0f}, 70%, {38 + 10 * (index % 3)}%)"
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """Decade ticks (0.1, 1, 10, ...) covering [lo, hi]."""
+    first = math.floor(math.log10(lo))
+    last = math.ceil(math.log10(hi))
+    return [10.0 ** e for e in range(first, last + 1)]
+
+
+def render_svg(
+    records: List[Dict[str, Any]], scenarios: List[str], mode: Optional[str]
+) -> str:
+    values = [
+        v
+        for record in records
+        for name, v in record.get("speedups", {}).items()
+        if name in scenarios and isinstance(v, (int, float)) and v > 0
+    ]
+    lo, hi = min(values), max(values)
+    # Pad the log range so lines do not sit on the frame.
+    log_lo, log_hi = math.log10(lo) - 0.08, math.log10(hi) + 0.08
+    runs = len(records)
+
+    def x_of(run_index: int) -> float:
+        if runs == 1:
+            return MARGIN_LEFT + PLOT_W / 2.0
+        return MARGIN_LEFT + PLOT_W * run_index / (runs - 1)
+
+    def y_of(speedup: float) -> float:
+        frac = (math.log10(speedup) - log_lo) / (log_hi - log_lo)
+        return MARGIN_TOP + PLOT_H * (1.0 - frac)
+
+    title = "Kernel speedup trajectory"
+    if mode:
+        title += f" ({mode} mode)"
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}"'
+        f' height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}"'
+        ' font-family="Menlo, Consolas, monospace" font-size="11">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{MARGIN_LEFT}" y="24" font-size="15"'
+        f' font-weight="bold">{_esc(title)}</text>',
+        f'<rect x="{MARGIN_LEFT}" y="{MARGIN_TOP}" width="{PLOT_W}"'
+        f' height="{PLOT_H}" fill="none" stroke="#999"/>',
+    ]
+
+    # Horizontal grid: decade ticks plus the 1x break-even line.
+    for tick in _log_ticks(lo, hi):
+        if not (10.0 ** log_lo <= tick <= 10.0 ** log_hi):
+            continue
+        y = y_of(tick)
+        emphasis = ' stroke="#c33" stroke-dasharray="4 3"' if tick == 1.0 \
+            else ' stroke="#ddd"'
+        parts.append(
+            f'<line x1="{MARGIN_LEFT}" y1="{y:.1f}"'
+            f' x2="{MARGIN_LEFT + PLOT_W}" y2="{y:.1f}"{emphasis}/>'
+        )
+        label = f"{tick:g}x"
+        parts.append(
+            f'<text x="{MARGIN_LEFT - 8}" y="{y + 4:.1f}"'
+            f' text-anchor="end">{label}</text>'
+        )
+
+    # X labels: run index + short sha, thinned when the log gets long.
+    step = max(1, runs // 12)
+    for index in range(0, runs, step):
+        x = x_of(index)
+        sha = str(records[index].get("git_sha", ""))[:7]
+        parts.append(
+            f'<text x="{x:.1f}" y="{MARGIN_TOP + PLOT_H + 16}"'
+            f' text-anchor="middle">#{index}</text>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{MARGIN_TOP + PLOT_H + 30}"'
+            f' text-anchor="middle" fill="#666">{_esc(sha)}</text>'
+        )
+
+    # One polyline (plus point markers) per scenario.
+    for s_index, name in enumerate(scenarios):
+        color = _color(s_index, len(scenarios))
+        points = [
+            (x_of(r_index), y_of(record["speedups"][name]))
+            for r_index, record in enumerate(records)
+            if isinstance(record.get("speedups", {}).get(name), (int, float))
+            and record["speedups"][name] > 0
+        ]
+        if not points:
+            continue
+        if len(points) > 1:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}"'
+                ' stroke-width="1.6"/>'
+            )
+        for x, y in points:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.4" fill="{color}"/>'
+            )
+        # Legend entry, to the right of the plot.
+        ly = MARGIN_TOP + 14 * s_index
+        parts.append(
+            f'<line x1="{MARGIN_LEFT + PLOT_W + 12}" y1="{ly + 8}"'
+            f' x2="{MARGIN_LEFT + PLOT_W + 30}" y2="{ly + 8}"'
+            f' stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_LEFT + PLOT_W + 36}" y="{ly + 12}">'
+            f'{_esc(name)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--history", type=Path, default=DEFAULT_HISTORY,
+        help=f"history log to read (default {DEFAULT_HISTORY})",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"SVG to write (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--mode", choices=["full", "quick"], default=None,
+        help="keep only runs of this mode (default: all runs)",
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="plot only scenarios whose name contains one of these",
+    )
+    args = parser.parse_args(argv[1:])
+
+    records = load_history(args.history, mode=args.mode)
+    if not records:
+        print(f"no usable records in {args.history}")
+        return 1
+    scenarios = scenario_columns(records)
+    if args.only:
+        scenarios = [
+            name for name in scenarios
+            if any(needle in name for needle in args.only)
+        ]
+        if not scenarios:
+            print(f"no scenario matches {args.only!r}")
+            return 1
+    svg = render_svg(records, scenarios, args.mode)
+    args.output.write_text(svg, encoding="utf-8")
+    print(
+        f"wrote {args.output} ({len(records)} runs,"
+        f" {len(scenarios)} scenarios)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

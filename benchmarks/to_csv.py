@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Flatten ``benchmarks/history.jsonl`` into a speedup-trajectory CSV.
+
+Each harness run appends one JSONL record with its commit, mode, and
+per-scenario speedups (see ``run_all.append_history``).  This tool turns
+that log into a wide CSV -- one row per run, one column per scenario --
+so the perf trajectory across the PR sequence is greppable and feeds
+:mod:`plot_trajectory` (and any spreadsheet) without custom parsing.
+
+Usage::
+
+    python benchmarks/to_csv.py                       # -> benchmarks/history.csv
+    python benchmarks/to_csv.py --mode quick          # quick-mode runs only
+    python benchmarks/to_csv.py --output /tmp/h.csv
+
+Scenario columns are sorted by name; runs missing a scenario (it did not
+exist yet, or ``--only`` filtered it) leave the cell empty.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_HISTORY = BENCH_DIR / "history.jsonl"
+DEFAULT_OUTPUT = BENCH_DIR / "history.csv"
+
+#: Per-run metadata columns, ahead of the per-scenario speedup columns.
+META_COLUMNS = [
+    "run_index",
+    "git_sha",
+    "generated_unix",
+    "mode",
+    "numpy_version",
+    "all_identical",
+    "geomean_speedup",
+]
+
+
+def load_history(
+    path: Path = DEFAULT_HISTORY, mode: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Parse the JSONL log, oldest first; optionally filter by mode.
+
+    Malformed lines are skipped with a warning on stderr rather than
+    aborting: the log is append-only across many PRs and one truncated
+    line (e.g. a killed run) should not wedge the tooling.
+    """
+    records: List[Dict[str, Any]] = []
+    if not path.exists():
+        return records
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            print(
+                f"warning: {path.name}:{lineno} is not valid JSON; skipped",
+                file=sys.stderr,
+            )
+            continue
+        if not isinstance(record, dict) or "speedups" not in record:
+            print(
+                f"warning: {path.name}:{lineno} has no speedups; skipped",
+                file=sys.stderr,
+            )
+            continue
+        if mode is not None and record.get("mode") != mode:
+            continue
+        records.append(record)
+    return records
+
+
+def scenario_columns(records: List[Dict[str, Any]]) -> List[str]:
+    """Union of scenario names across all runs, sorted for stable output."""
+    names = set()
+    for record in records:
+        names.update(record.get("speedups", {}))
+    return sorted(names)
+
+
+def history_rows(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """One flat dict per run: metadata plus per-scenario speedups."""
+    rows: List[Dict[str, Any]] = []
+    for index, record in enumerate(records):
+        row: Dict[str, Any] = {
+            "run_index": index,
+            "git_sha": record.get("git_sha", ""),
+            "generated_unix": record.get("generated_unix", ""),
+            "mode": record.get("mode", ""),
+            "numpy_version": record.get("numpy_version", ""),
+            "all_identical": record.get("all_identical", ""),
+            "geomean_speedup": record.get("geomean_speedup", ""),
+        }
+        row.update(record.get("speedups", {}))
+        rows.append(row)
+    return rows
+
+
+def write_csv(rows: List[Dict[str, Any]], columns: List[str], path: Path) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=META_COLUMNS + columns, restval=""
+        )
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--history", type=Path, default=DEFAULT_HISTORY,
+        help=f"history log to read (default {DEFAULT_HISTORY})",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"CSV to write (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--mode", choices=["full", "quick"], default=None,
+        help="keep only runs of this mode (default: all runs)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    records = load_history(args.history, mode=args.mode)
+    if not records:
+        print(f"no usable records in {args.history}")
+        return 1
+    columns = scenario_columns(records)
+    write_csv(history_rows(records), columns, args.output)
+    print(
+        f"wrote {args.output} ({len(records)} runs x {len(columns)} scenarios)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

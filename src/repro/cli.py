@@ -145,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered compute backend for the network layers "
              "(default: session default -- REPRO_BACKEND env or numpy)",
     )
+    e2e.add_argument(
+        "--preprocess-workers", type=_positive_int, default=None,
+        help="intra-batch worker threads for the engine stage tails "
+             "(default: REPRO_PREPROCESS_WORKERS env, else serial)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -219,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request future.result timeout in seconds (default 300)",
     )
     serve.add_argument(
+        "--preprocess-workers", type=_positive_int, default=None,
+        help="intra-batch worker threads inside each serving worker's "
+             "engine stage tails (default: REPRO_PREPROCESS_WORKERS env, "
+             "else serial)",
+    )
+    serve.add_argument(
         "--no-verify", dest="verify", action="store_false",
         help="skip the bit-identity check against a sequential run_batch",
     )
@@ -279,6 +290,7 @@ def _run_e2e(
     accelerator: str = "hgpcn",
     batch_size: int = 0,
     backend: Optional[str] = None,
+    preprocess_workers: Optional[int] = None,
 ) -> int:
     task = _DATASET_TASKS[dataset]
     source = registry.create(
@@ -294,7 +306,7 @@ def _run_e2e(
     )
     session = Session(
         config=config, task=task, sampler=sampler, accelerator=accelerator,
-        backend=backend,
+        backend=backend, preprocess_workers=preprocess_workers,
     )
     frames = [
         FrameRequest.from_frame(source.generate_frame(i))
@@ -404,6 +416,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         # workers *and* the sequential bit-identity reference, so the soak
         # gate exercises the selected backend's dispatch invariance.
         backend=args.backend,
+        preprocess_workers=args.preprocess_workers,
     )
     if args.batch_rows_budget:
         session_options["batch_rows_budget"] = args.batch_rows_budget
@@ -694,6 +707,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             accelerator=args.accelerator,
             batch_size=args.batch_size,
             backend=args.backend,
+            preprocess_workers=args.preprocess_workers,
         )
     if args.command == "serve":
         return _run_serve(args)

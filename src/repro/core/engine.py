@@ -42,6 +42,7 @@ from repro.network.pointnet2 import ForwardResult, build_model_for_task
 from repro.network.workload import NetworkWorkload, extract_workload
 from repro.octree.builder import Octree
 from repro.octree.linear import OctreeTable
+from repro.parallel import ordered_map
 from repro.sampling.base import Sampler, SamplingResult
 
 
@@ -95,6 +96,10 @@ class PreprocessingEngine:
     #: Extra keyword arguments forwarded to the sampler factory.  These win
     #: over the engine-derived defaults (octree depth, seed, ...).
     sampler_options: Dict[str, Any] = field(default_factory=dict)
+    #: Intra-batch worker count for :meth:`process_batch` (frames of one
+    #: batch finish on different cores, joined in frame order).  ``None``
+    #: defers to ``REPRO_PREPROCESS_WORKERS``, then serial.
+    max_workers: Optional[int] = None
     #: Warm sampler cache keyed by (sampler_name, octree depth):
     #: (sampler, accepts_octree).  Keyed on the name so reassigning
     #: ``sampler_name`` on a warm engine takes effect; ``sampler_options``
@@ -143,17 +148,24 @@ class PreprocessingEngine:
         (every member down-samples to the same shape), and the per-frame
         octrees come out of one :meth:`Octree.build_batch` kernel sequence
         -- one stacked m-code encode and one stacked sort for all frames.
-        Sampling and the latency/on-chip accounting stay per frame, and
-        every returned :class:`PreprocessingResult` is bit-identical to
-        :meth:`process` on that frame alone.
+        Sampling and the latency/on-chip accounting stay per frame --
+        spread over ``max_workers`` cores when configured -- and every
+        returned :class:`PreprocessingResult` is bit-identical to
+        :meth:`process` on that frame alone, for any worker count: the
+        per-frame tail is pure (fresh sampler RNG per frame) and results
+        join in frame order.
         """
         pre = self.config.preprocessing
         depth = pre.octree_depth or suggest_depth(batch.num_points)
         octrees = Octree.build_batch(batch.clouds, depth=depth)
-        return [
-            self._finish_frame(cloud, octree, depth)
-            for cloud, octree in zip(batch.clouds, octrees)
-        ]
+        # Warm the sampler cache on the calling thread so the parallel
+        # per-frame tails never race the cache fill.
+        self._sampler_entry(depth)
+        return ordered_map(
+            lambda pair: self._finish_frame(pair[0], pair[1], depth),
+            zip(batch.clouds, octrees),
+            max_workers=self.max_workers,
+        )
 
     def _finish_frame(
         self, cloud: PointCloud, octree: Octree, depth: int
@@ -263,6 +275,10 @@ class InferenceEngine:
     #: Compute backend name executing the dense layers (``None`` = process
     #: default: ``REPRO_BACKEND`` env when set, else numpy).
     backend: Optional[str] = None
+    #: Intra-batch worker count for the per-frame tail of
+    #: :meth:`process_batch` (workload extraction + accelerator pricing).
+    #: ``None`` defers to ``REPRO_PREPROCESS_WORKERS``, then serial.
+    max_workers: Optional[int] = None
     #: Warm model cache, keyed by (task, input_size, feature_channels,
     #: backend name).
     _warm: Dict[Tuple[str, int, int, str], InferenceWarmState] = field(
@@ -339,10 +355,14 @@ class InferenceEngine:
             forwards = state.model.forward_batch(batch)
         else:
             forwards = [state.model.forward(cloud) for cloud in batch.clouds]
-        return [
-            self._finish_execution(cloud, forward, warm)
-            for cloud, forward, warm in zip(batch.clouds, forwards, warms)
-        ]
+        # Resolve the accelerator probe on the calling thread so the
+        # parallel per-frame tails only read it.
+        self._ensure_measured_probe()
+        return ordered_map(
+            lambda args: self._finish_execution(*args),
+            zip(batch.clouds, forwards, warms),
+            max_workers=self.max_workers,
+        )
 
     def _finish_execution(
         self, sampled: PointCloud, forward: ForwardResult, warm: bool
@@ -383,18 +403,24 @@ class InferenceEngine:
         per-layer VEG statistics; the baselines price their own analytic data
         structuring workload.
         """
-        if self._measured_probe is None or self._measured_probe[0] != id(self.accelerator):
-            self._measured_probe = (
+        if self._ensure_measured_probe():
+            return self.accelerator.inference_report(
+                spec, measured_run_stats=run_stats or None
+            )
+        return self.accelerator.inference_report(spec)
+
+    def _ensure_measured_probe(self) -> bool:
+        """Whether the accelerator accepts measured VEG statistics (cached)."""
+        probe = self._measured_probe
+        if probe is None or probe[0] != id(self.accelerator):
+            probe = (
                 id(self.accelerator),
                 _accepts_keyword(
                     self.accelerator.inference_report, "measured_run_stats"
                 ),
             )
-        if self._measured_probe[1]:
-            return self.accelerator.inference_report(
-                spec, measured_run_stats=run_stats or None
-            )
-        return self.accelerator.inference_report(spec)
+            self._measured_probe = probe
+        return probe[1]
 
     def workload_counters(self, execution: InferenceExecution) -> OpCounters:
         """Aggregate data structuring counters of one execution."""

@@ -321,6 +321,165 @@ def ois_scalar(
 
 
 # ----------------------------------------------------------------------
+# OIS (pre-wavefront one-sample-at-a-time descent)
+# ----------------------------------------------------------------------
+def ois_sample_scalar(
+    cloud: PointCloud,
+    num_samples: int,
+    octree_depth: Optional[int] = None,
+    approximate: bool = False,
+    seed: int = 0,
+    octree: Optional[Octree] = None,
+) -> Tuple[np.ndarray, OpCounters]:
+    """The pre-wavefront OIS loop; returns ``(indices, counters)``.
+
+    Frozen from ``OctreeIndexedSampler._run_sampling_loop`` as of PR 8:
+    each pick runs one root-to-leaf walk over flat per-level code arrays
+    (candidate ranking is one array-wide XOR+popcount per level), and the
+    summary point is re-encoded before every descent.  "Scalar" here means
+    one *sample* at a time -- the wavefront sampler in
+    ``repro.sampling.ois`` speculates a whole block of picks per level
+    pass and must match this function bit for bit: same indices, same
+    counters, same RNG draw sequence in approximate mode.
+
+    Matches ``OctreeIndexedSampler.sample`` without the
+    ``count_build_at_scale`` rescaling (benchmarks compare raw counts).
+    """
+    from repro.kernels import encode_point_scalar, hamming_codes
+    from repro.octree.memory_layout import HostMemoryLayout
+
+    rng = np.random.default_rng(seed)
+    counters = OpCounters()
+
+    depth = octree_depth or suggest_depth(cloud.num_points)
+    if octree is None:
+        octree = Octree.build(cloud, depth=depth)
+        counters.host_memory_reads += octree.stats.host_memory_reads
+        counters.host_memory_writes += octree.stats.host_memory_writes
+    else:
+        depth = octree.depth
+    layout = HostMemoryLayout.from_octree(octree)
+    point_codes = octree.point_codes
+    leaf_codes = octree.leaf_codes
+
+    slot_to_original = layout.slot_to_original
+    sorted_codes = point_codes[slot_to_original]
+    leaf_starts = np.searchsorted(sorted_codes, leaf_codes, side="left")
+    leaf_ends = np.searchsorted(sorted_codes, leaf_codes, side="right")
+    remaining: List[List[int]] = [
+        slot_to_original[start:end].tolist()
+        for start, end in zip(leaf_starts, leaf_ends)
+    ]
+    leaf_counts = leaf_ends - leaf_starts
+
+    level_codes: List[Optional[np.ndarray]] = [None] * (depth + 1)
+    leaf_to_node: List[Optional[np.ndarray]] = [None] * (depth + 1)
+    level_codes[depth] = leaf_codes
+    leaf_to_node[depth] = np.arange(leaf_codes.shape[0], dtype=np.intp)
+    for level in range(depth - 1, 0, -1):
+        codes, parent_of = np.unique(
+            level_codes[level + 1] >> 3, return_inverse=True
+        )
+        level_codes[level] = codes
+        leaf_to_node[level] = parent_of[leaf_to_node[level + 1]]
+
+    remaining_count: List[Optional[np.ndarray]] = [None] * (depth + 1)
+    picked_count: List[Optional[np.ndarray]] = [None] * (depth + 1)
+    for level in range(1, depth + 1):
+        remaining_count[level] = np.bincount(
+            leaf_to_node[level],
+            weights=leaf_counts,
+            minlength=level_codes[level].shape[0],
+        ).astype(np.int64)
+        picked_count[level] = np.zeros(
+            level_codes[level].shape[0], dtype=np.int64
+        )
+
+    child_start: List[Optional[np.ndarray]] = [None] * (depth + 1)
+    child_end: List[Optional[np.ndarray]] = [None] * (depth + 1)
+    for level in range(1, depth):
+        parents = level_codes[level + 1] >> 3
+        child_start[level] = np.searchsorted(
+            parents, level_codes[level], side="left"
+        )
+        child_end[level] = np.searchsorted(
+            parents, level_codes[level], side="right"
+        )
+
+    leaf_of_point = np.searchsorted(leaf_codes, point_codes)
+
+    def consume(original_index: int) -> None:
+        leaf_index = int(leaf_of_point[original_index])
+        remaining[leaf_index].remove(original_index)
+        for level in range(1, depth + 1):
+            node = leaf_to_node[level][leaf_index]
+            remaining_count[level][node] -= 1
+            picked_count[level][node] += 1
+
+    box = octree.box
+    box_minimum = box.minimum
+    extent = np.where(box.size > 0, box.size, 1.0)
+    key_floor = np.int64(np.iinfo(np.int64).min)
+
+    def descend(seed_code: int) -> int:
+        lo, hi = 0, level_codes[1].shape[0]
+        node_index = 0
+        for level in range(1, depth + 1):
+            counters.node_visits += 1
+            rem = remaining_count[level][lo:hi]
+            eligible = rem > 0
+            num_eligible = int(eligible.sum())
+            if num_eligible == 0:
+                raise RuntimeError(
+                    "octree exhausted before collecting the requested"
+                    " samples"
+                )
+            counters.hamming_ops += num_eligible
+            counters.onchip_reads += num_eligible
+            counters.compare_ops += num_eligible
+            seed_prefix = seed_code >> (3 * (depth - level))
+            key = hamming_codes(level_codes[level][lo:hi], seed_prefix) - (
+                picked_count[level][lo:hi] << 6
+            )
+            key = np.where(eligible, key, key_floor)
+            node_index = lo + int(np.argmax(key))
+            if level < depth:
+                lo = int(child_start[level][node_index])
+                hi = int(child_end[level][node_index])
+
+        candidates = remaining[node_index]
+        if approximate:
+            choice = int(rng.integers(len(candidates)))
+            return candidates[choice]
+        if seed_code <= int(leaf_codes[node_index]):
+            return candidates[-1]
+        return candidates[0]
+
+    picked: List[int] = []
+    picked_codes_sum = np.zeros(3, dtype=np.float64)
+
+    seed_index = int(rng.integers(cloud.num_points))
+    picked.append(seed_index)
+    consume(seed_index)
+    picked_codes_sum += cloud.points[seed_index]
+    counters.host_memory_reads += 1
+    counters.onchip_writes += 1
+
+    while len(picked) < num_samples:
+        summary_point = picked_codes_sum / len(picked)
+        summary_code = encode_point_scalar(
+            summary_point, box_minimum, extent, depth
+        )
+        next_index = descend(summary_code)
+        picked.append(next_index)
+        consume(next_index)
+        picked_codes_sum += cloud.points[next_index]
+        counters.host_memory_reads += 1
+        counters.onchip_writes += 1
+    return np.asarray(picked, dtype=np.intp), counters
+
+
+# ----------------------------------------------------------------------
 # Scalar voxel grid + VEG (pre-kernel per-centroid shell expansion)
 # ----------------------------------------------------------------------
 class ScalarGrid:

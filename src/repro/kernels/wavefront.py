@@ -1,0 +1,210 @@
+"""Wavefront greedy-winner ranking for the fused multi-sample OIS descent.
+
+The OIS walk picks, at every octree level, the least-picked non-exhausted
+child with the largest Hamming distance to the summary-point m-code
+(smallest SFC position breaking ties).  While the summary code is held
+fixed -- which is exactly what a wavefront of speculative picks does -- the
+serial pick/consume recurrence inside one node's child slice has a closed
+form: a child whose committed key is ``k = hamming - (picked << 6)`` and
+whose remaining budget is ``R`` yields the strictly decreasing key sequence
+``k, k - 64, k - 128, ...`` (one step per win, at most ``R`` wins), so the
+greedy winner sequence of ``rounds`` serial picks is the ``rounds`` largest
+entries of the multiset ``{k_i - 64 t : 0 <= t < min(R_i, rounds)}`` in
+descending key order with ascending node index breaking ties.  That turns
+``rounds`` sequential argmax scans into one ragged construction plus one
+``lexsort`` -- and it vectorises *across* every node visited at the same
+level, so a whole wavefront costs a fixed number of array ops per level.
+
+:func:`wavefront_level_winners` implements exactly that and also returns
+the per-round eligible-children counts (committed eligibility minus the
+children earlier rounds of the same wavefront drained), which is what the
+per-pick ``hamming_ops`` / ``onchip_reads`` / ``compare_ops`` accounting of
+the one-sample-at-a-time reference charges.  The function is pure: commit
+of the accepted prefix is the caller's job.
+
+:func:`wavefront_singleton_winners` is the fast path for the common deep
+tail of a descent: once every lane of the wavefront has split into its own
+subtree, each group ranks exactly one pick and never re-merges at deeper
+levels, so the multiset degenerates to a per-segment argmax with no
+within-wavefront drain.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.morton import popcount64
+
+__all__ = ["wavefront_level_winners", "wavefront_singleton_winners"]
+
+_EXHAUSTED = "octree exhausted before collecting the requested samples"
+
+# Sentinel below any reachable packed (key << 32) - child_id value: keys are
+# bounded by 63 - 64 * num_samples, so packed combos stay far above -2**62.
+_COMBO_FLOOR = np.int64(-(1 << 62))
+
+if hasattr(np, "bitwise_count"):
+
+    def _hamming(codes: np.ndarray, prefix: int) -> np.ndarray:
+        # Inline xor+popcount: these kernels are dispatch-bound, so the
+        # asarray/validation layers of the public helper are measurable.
+        return np.bitwise_count(codes ^ prefix).astype(np.int64)
+
+else:  # pragma: no cover - NumPy < 2.0
+
+    def _hamming(codes: np.ndarray, prefix: int) -> np.ndarray:
+        return popcount64(codes ^ prefix)
+
+
+def wavefront_level_winners(
+    level_codes: np.ndarray,
+    picked_count: np.ndarray,
+    remaining_count: np.ndarray,
+    seed_prefix: int,
+    group_lo: np.ndarray,
+    group_hi: np.ndarray,
+    group_rounds: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Greedy winner sequences for every group of one level pass.
+
+    Parameters
+    ----------
+    level_codes, picked_count, remaining_count:
+        Full per-node arrays of one octree level (sorted code order), in
+        the *committed* state -- speculative effects of the wavefront
+        itself are resolved internally.
+    seed_prefix:
+        The summary code truncated to this level.
+    group_lo, group_hi:
+        ``(G,)`` child-slice bounds per group: group ``g`` ranks the nodes
+        ``level_codes[group_lo[g]:group_hi[g]]`` (the children of one
+        level-above winner).  Slices of distinct groups never overlap.
+    group_rounds:
+        ``(G,)`` number of serial picks to simulate per group (>= 1).
+
+    Returns
+    -------
+    winners:
+        ``(sum(group_rounds),)`` winning node indices, group-major in
+        round order -- entry ``j`` of group ``g`` is the node the ``j``-th
+        serial pick routed through ``g``'s parent would have chosen.
+    eligible:
+        Matching per-round eligible-children counts (children with
+        remaining points when that round ran), i.e. the per-level
+        ``hamming_ops`` charge of each simulated pick.
+    """
+    num_groups = group_lo.shape[0]
+    group_ids = np.arange(num_groups, dtype=np.intp)
+    span = group_hi - group_lo
+    span_cum = np.cumsum(span)
+    total_children = int(span_cum[-1]) if num_groups else 0
+    if total_children == 0:
+        raise RuntimeError(_EXHAUSTED)
+    group_offset = span_cum - span
+
+    # Ragged [group_lo[g], group_hi[g]) enumeration of candidate children.
+    # Within a group, ascending child id == ascending node index, which is
+    # the SFC tie-break order.
+    child_group = np.repeat(group_ids, span)
+    child_ids = np.arange(total_children, dtype=np.intp)
+    child_nodes = child_ids + np.repeat(group_lo - group_offset, span)
+
+    # Committed key and remaining budget per candidate child.  hamming < 64
+    # packs (-picked, hamming) into one int key, matching the scalar walk.
+    base_key = _hamming(level_codes[child_nodes], seed_prefix) - (
+        picked_count[child_nodes] << 6
+    )
+    budget = remaining_count[child_nodes]
+    rounds_of_child = group_rounds[child_group]
+
+    # Multiset {base_key - 64 t : 0 <= t < min(budget, rounds)} per child.
+    cap = np.minimum(budget, rounds_of_child)
+    cap_cum = np.cumsum(cap)
+    total_entries = int(cap_cum[-1])
+    entry_child = np.repeat(child_ids, cap)
+    entry_ids = np.arange(total_entries, dtype=np.int64)
+    win_round = entry_ids - (cap_cum - cap)[entry_child]
+    # Negated keys directly: lexsort ranks ascending, we want key descending.
+    neg_values = (win_round << 6) - base_key[entry_child]
+    entry_group = child_group[entry_child]
+
+    # Descending key with ascending node index breaking ties, per group:
+    # exactly the first-maximum argmax tie-break of the serial walk.
+    order = np.lexsort((entry_child, neg_values, entry_group))
+    sorted_group = entry_group[order]
+    # Entries stay grouped after the sort, so each group's first position is
+    # a running sum of per-group entry counts (cheaper than a binary search
+    # against the sorted array every call).
+    entries_per_group = np.add.reduceat(cap, group_offset)
+    group_first = np.cumsum(entries_per_group) - entries_per_group
+    rank = entry_ids - group_first[sorted_group]
+    selected_mask = rank < group_rounds[sorted_group]
+    sel = order[selected_mask]
+    sel_child = entry_child[sel]
+    winners = child_nodes[sel_child]
+    if winners.shape[0] != int(group_rounds.sum()):
+        raise RuntimeError(_EXHAUSTED)
+
+    # Eligible children seen by round j = committed eligibility of the group
+    # minus children whose budget earlier rounds of this wavefront drained
+    # (a child leaves the eligible set at the round that takes its last
+    # remaining point, i.e. the selected entry with t == budget - 1).  A
+    # child can only drain when its whole budget fits the round count, so
+    # the common case short-circuits to the committed eligibility.
+    sel_group = sorted_group[selected_mask]
+    init_eligible = np.bincount(child_group[budget > 0], minlength=num_groups)
+    eligible = init_eligible[sel_group]
+    if np.any(budget <= rounds_of_child):
+        exhausts = (win_round[sel] == budget[sel_child] - 1).astype(np.int64)
+        drained = np.cumsum(exhausts) - exhausts
+        # The selection kept exactly group_rounds[g] entries per group (the
+        # shortfall case raised above), so round starts are a running sum.
+        round_starts = np.cumsum(group_rounds) - group_rounds
+        drained -= np.repeat(drained[round_starts], group_rounds)
+        eligible = eligible - drained
+    return winners, eligible
+
+
+def wavefront_singleton_winners(
+    level_codes: np.ndarray,
+    picked_count: np.ndarray,
+    remaining_count: np.ndarray,
+    seed_prefix: int,
+    group_lo: np.ndarray,
+    group_hi: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`wavefront_level_winners` specialised to one round per group.
+
+    A single round reduces the multiset ranking to a plain first-maximum
+    argmax over each group's child slice, and no within-wavefront drain can
+    affect the round that causes it, so the eligible count is just the
+    committed eligibility of the slice.  Group order is arbitrary (groups
+    are independent); ``winners[g]`` / ``eligible[g]`` answer group ``g``.
+    """
+    num_groups = group_lo.shape[0]
+    span = group_hi - group_lo
+    span_cum = np.cumsum(span)
+    total_children = int(span_cum[-1]) if num_groups else 0
+    if total_children == 0:
+        raise RuntimeError(_EXHAUSTED)
+    offsets = span_cum - span
+    child_group = np.repeat(np.arange(num_groups, dtype=np.intp), span)
+    child_ids = np.arange(total_children, dtype=np.int64)
+    child_nodes = child_ids + np.repeat(group_lo - offsets, span)
+
+    key = _hamming(level_codes[child_nodes], seed_prefix) - (
+        picked_count[child_nodes] << 6
+    )
+    valid = remaining_count[child_nodes] > 0
+    # Pack (key desc, child asc) into one argmax-able scalar; exhausted
+    # children sink to the floor sentinel.
+    combo = np.where(valid, (key << 32) - child_ids, _COMBO_FLOOR)
+    best = np.maximum.reduceat(combo, offsets)
+    if bool((best == _COMBO_FLOOR).any()):
+        raise RuntimeError(_EXHAUSTED)
+    # Packed combos are unique per child, so each group matches exactly once.
+    winners = child_nodes[np.flatnonzero(combo == best[child_group])]
+    eligible = np.add.reduceat(valid, offsets, dtype=np.int64)
+    return winners, eligible

@@ -186,6 +186,12 @@ class Session:
         default (``REPRO_BACKEND`` env when set, else ``numpy``).  The
         backend is part of the warm-model cache key and is inherited by
         serving workers built from this session's options.
+    preprocess_workers:
+        Intra-batch worker count for the engines' ``process_batch`` stage
+        tails (frames of one batch finish on different cores, joined in
+        frame order -- ``run_batch(batched=True)`` output is bit-identical
+        for any value).  ``None`` defers to the
+        ``REPRO_PREPROCESS_WORKERS`` environment variable, then serial.
     preprocessing_engine / inference_engine:
         Pre-built engines to adopt (used by the :class:`HgPCNSystem` shim);
         when given they override ``sampler`` / ``accelerator``.
@@ -200,6 +206,7 @@ class Session:
         response_cache_size: int = 64,
         batch_rows_budget: Optional[int] = None,
         backend: Optional[str] = None,
+        preprocess_workers: Optional[int] = None,
         preprocessing_engine: Optional[PreprocessingEngine] = None,
         inference_engine: Optional[InferenceEngine] = None,
     ):
@@ -209,10 +216,18 @@ class Session:
             # Fail fast on typos: resolve through the registry up front
             # rather than at the first forward pass.
             registry.get_factory("backend", backend)
+        if preprocess_workers is not None and int(preprocess_workers) < 1:
+            raise ValueError(
+                f"preprocess_workers must be >= 1, got {preprocess_workers}"
+            )
         if preprocessing_engine is None:
             preprocessing_engine = PreprocessingEngine(
-                config=self.config, sampler_name=sampler
+                config=self.config,
+                sampler_name=sampler,
+                max_workers=preprocess_workers,
             )
+        elif preprocess_workers is not None:
+            preprocessing_engine.max_workers = preprocess_workers
         if inference_engine is None:
             if isinstance(accelerator, str):
                 accelerator = registry.create("accelerator", accelerator)
@@ -221,9 +236,14 @@ class Session:
                 accelerator=accelerator,
                 task=task,
                 backend=backend,
+                max_workers=preprocess_workers,
             )
-        elif backend is not None and inference_engine.backend is None:
-            inference_engine.backend = backend
+        else:
+            if backend is not None and inference_engine.backend is None:
+                inference_engine.backend = backend
+            if preprocess_workers is not None:
+                inference_engine.max_workers = preprocess_workers
+        self.preprocess_workers = preprocess_workers
         self.preprocessing_engine = preprocessing_engine
         self.inference_engine = inference_engine
         self.backend = resolve_backend(
@@ -282,6 +302,7 @@ class Session:
             "response_cache_entries": len(self._response_cache),
             "response_cache_hits": self.cache_hits,
             "backend": self.backend,
+            "preprocess_workers": self.preprocess_workers,
         }
 
     # -- single-frame path ---------------------------------------------

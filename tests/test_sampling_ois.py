@@ -1,8 +1,11 @@
 """Unit tests for repro.sampling.ois (Octree-Indexed Sampling, Algorithm 2)."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
+from repro.geometry.pointcloud import PointCloud
 from repro.octree.builder import Octree
 from repro.sampling.fps import fps_counter_model
 from repro.sampling.ois import OctreeIndexedSampler, ois_counter_model
@@ -119,6 +122,47 @@ class TestCounters:
     def test_counter_model_invalid_depth(self):
         with pytest.raises(ValueError):
             ois_counter_model(100, 10, octree_depth=0)
+
+    def test_model_matches_functional_on_complete_grid(self):
+        """The analytic model and the functional sampler agree exactly.
+
+        The model charges every table walk eight child evaluations per
+        level; the functional path charges the *eligible* children of each
+        visited node.  On a complete grid -- every leaf of a depth-2
+        octree occupied, with enough points per leaf that no leaf exhausts
+        -- the two accountings coincide, so any drift between the model
+        and the sampling loop (the bug this test pins down) shows up as a
+        counter mismatch.  ``count_seed_descent=False`` mirrors the
+        functional seed pick, which is drawn directly without a descent;
+        ``include_build=False`` mirrors the pre-built octree.
+        """
+        depth, num_samples = 2, 8
+        cells = 2 ** depth
+        centers = (np.arange(cells) + 0.5) / cells
+        grid = np.stack(
+            np.meshgrid(centers, centers, centers, indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        # Enough copies per leaf (slightly jittered, staying inside the
+        # cell) that no leaf can run out of unpicked points.
+        offsets = (
+            (np.arange(num_samples) - (num_samples - 1) / 2.0)
+            * (0.2 / cells / num_samples)
+        )
+        points = np.concatenate([grid + off for off in offsets], axis=0)
+        cloud = PointCloud(points=points)
+
+        octree = Octree.build(cloud, depth=depth)
+        result = OctreeIndexedSampler(octree_depth=depth, seed=0).sample(
+            cloud, num_samples, octree=octree
+        )
+        model = ois_counter_model(
+            cloud.num_points,
+            num_samples,
+            depth,
+            include_build=False,
+            count_seed_descent=False,
+        )
+        assert dataclasses.asdict(result.counters) == dataclasses.asdict(model)
 
     def test_build_scale_override(self, medium_cloud):
         scaled = OctreeIndexedSampler(
