@@ -97,6 +97,12 @@ class Scenario:
     on top of the relative regression gate: scenarios that exist to prove
     an optimisation pays (not merely that it has not regressed) record the
     promised factor here.
+
+    ``collect_metrics``, when set, is called once after the timing rounds
+    and its return value lands under ``"metrics"`` in the scenario's
+    result record -- serving scenarios expose their ``ServingMetrics``
+    snapshot this way so ``--check-baseline`` can gate per-class latency
+    percentiles, not just the aggregate speedup.
     """
 
     name: str
@@ -107,6 +113,7 @@ class Scenario:
     compare: Optional[Callable[[Any, Any], bool]] = None
     contract: str = "bit_identical"
     min_speedup: Optional[float] = None
+    collect_metrics: Optional[Callable[[], Any]] = None
 
 
 def _counters_dict(counters: Optional[OpCounters]) -> Optional[Dict[str, int]]:
@@ -731,6 +738,16 @@ def build_scenarios(quick: bool) -> List[Scenario]:
     # detection sweep + respawn + backed-off re-dispatch.
     scenarios.append(_serving_chaos_scenario(quick))
 
+    # --- serving: SLO policy under seeded mixed-shape burst traffic ------
+    # The PR 10 serving-policy layer under adversarial load: a seeded
+    # mixed small/large-cloud stream at a rate the pool cannot sustain,
+    # two priority classes (preempting high, sheddable low), and shed
+    # admission.  Every future must resolve either bit-identical to the
+    # sequential reference or as a typed LoadShed -- never QueueFull,
+    # never silently.  The metrics snapshot feeds the per-class p99 gate
+    # in --check-baseline.
+    scenarios.append(_serving_mixed_traffic_scenario(quick))
+
     return scenarios
 
 
@@ -897,24 +914,40 @@ def _serving_scenario(
     reference: str = "naive",
     backend: Optional[str] = None,
 ) -> Scenario:
-    from repro.core.config import (
-        HgPCNConfig,
-        InferenceEngineConfig,
-        PreprocessingConfig,
-    )
     from repro.session import FrameRequest, Session
-    from repro.serving import FrameServer, ShardRouter
+    from repro.serving import (
+        ExecutionConfig,
+        FrameServer,
+        ServeConfig,
+        ShardRouter,
+    )
     from repro.serving.server import response_signature
 
     num_requests = 24 if quick else 64
     raw_points = 400 if quick else 800
     num_samples = 64
-    config = HgPCNConfig(
-        preprocessing=PreprocessingConfig(num_samples=num_samples, seed=0),
-        inference=InferenceEngineConfig(
-            num_centroids=max(8, num_samples // 4),
-            neighbors_per_centroid=16,
-            seed=0,
+    # The serving soak's own config object (the one the serve CLI parses
+    # into) supplies the session/engine/endpoint plumbing; only the
+    # request stream is bench-specific.  No response cache: per-worker
+    # caches would make cached flags depend on scheduling.  The backend
+    # (when set) is shared by the server's workers and the sequential
+    # reference, so the bit-identity comparison gates that backend's
+    # dispatch invariance through the serving path.
+    serve_config = ServeConfig(
+        dataset="kitti",
+        samples=num_samples,
+        neighbors=16,
+        seed=0,
+        frames=num_requests,
+        execution=ExecutionConfig(
+            workers=2,
+            execution=execution,
+            shards=shards,
+            max_batch=8,
+            max_wait_ms=2.0,
+            queue_capacity=num_requests,
+            sampler="random",
+            backend=backend,
         ),
     )
     requests = [
@@ -937,16 +970,10 @@ def _serving_scenario(
     else:
         arrivals = np.zeros(num_requests)
 
+    session_options = serve_config.session_options()
+
     def make_session() -> Session:
-        # No response cache: per-worker caches would make cached flags and
-        # recomputation depend on scheduling.  The backend (when set) is
-        # shared by the server's workers and the sequential reference, so
-        # the bit-identity comparison gates that backend's dispatch
-        # invariance through the serving path.
-        return Session(
-            config=config, task="semantic_segmentation", sampler="random",
-            response_cache_size=0, backend=backend,
-        )
+        return Session(**session_options)
 
     # Both sides are created lazily on first use (so scenarios filtered
     # out by --only never start threads that would add noise to other
@@ -954,26 +981,18 @@ def _serving_scenario(
     # the measurement is steady-state (warm models everywhere).
     state: Dict[str, Any] = {}
 
-    endpoint_options = dict(
-        session_factory=make_session,
-        num_workers=2,
-        max_batch_size=8,
-        max_wait_seconds=0.002,
-        queue_capacity=num_requests,
-    )
+    endpoint_options = serve_config.endpoint_options(num_requests, None)
 
     def get_endpoint():
         if "endpoint" not in state:
             if shards > 1:
                 state["endpoint"] = ShardRouter(
                     num_shards=shards,
-                    execution=execution,
                     name=f"bench-{label}",
                     **endpoint_options,
                 ).start()
             else:
                 state["endpoint"] = FrameServer(
-                    execution=execution,
                     name=f"bench-{label}",
                     **endpoint_options,
                 ).start()
@@ -1015,9 +1034,8 @@ def _serving_scenario(
         # pool / shard router produce bit-identical responses.
         if "thread_reference" not in state:
             state["thread_reference"] = FrameServer(
-                execution="thread",
                 name=f"bench-{label}-ref",
-                **endpoint_options,
+                **{**endpoint_options, "execution": "thread"},
             ).start()
         return submit_on_schedule(state["thread_reference"])
 
@@ -1048,25 +1066,33 @@ def _serving_scenario(
 
 
 def _serving_chaos_scenario(quick: bool) -> Scenario:
-    from repro.core.config import (
-        HgPCNConfig,
-        InferenceEngineConfig,
-        PreprocessingConfig,
+    from repro.session import FrameRequest
+    from repro.serving import (
+        ExecutionConfig,
+        FaultPlan,
+        FrameServer,
+        RetryPolicy,
+        ServeConfig,
     )
-    from repro.session import FrameRequest, Session
-    from repro.serving import FaultPlan, FrameServer, RetryPolicy
     from repro.serving.server import response_signature
 
     num_requests = 16 if quick else 32
     raw_points = 400 if quick else 800
     num_samples = 64
     rate_hz = 2000.0
-    config = HgPCNConfig(
-        preprocessing=PreprocessingConfig(num_samples=num_samples, seed=0),
-        inference=InferenceEngineConfig(
-            num_centroids=max(8, num_samples // 4),
-            neighbors_per_centroid=16,
-            seed=0,
+    serve_config = ServeConfig(
+        dataset="kitti",
+        samples=num_samples,
+        neighbors=16,
+        seed=0,
+        frames=num_requests,
+        execution=ExecutionConfig(
+            workers=2,
+            execution="process",
+            max_batch=4,
+            max_wait_ms=2.0,
+            queue_capacity=num_requests,
+            sampler="random",
         ),
     )
     requests = [
@@ -1083,12 +1109,6 @@ def _serving_chaos_scenario(quick: bool) -> Scenario:
         rng_arrivals.exponential(1.0 / rate_hz, size=num_requests)
     )
 
-    def make_session() -> Session:
-        return Session(
-            config=config, task="semantic_segmentation", sampler="random",
-            response_cache_size=0,
-        )
-
     def run_with(faults: "FaultPlan") -> Tuple[Any, None]:
         # Fresh server per timing round on BOTH sides: a kill spec fires
         # once per worker generation, so a persistent endpoint would
@@ -1096,15 +1116,9 @@ def _serving_chaos_scenario(quick: bool) -> Scenario:
         # measure a clean run.  Both sides therefore pay identical
         # startup (fork + warm sessions) and the delta is the crash.
         server = FrameServer(
-            session_factory=make_session,
-            num_workers=2,
-            execution="process",
-            max_batch_size=4,
-            max_wait_seconds=0.002,
-            queue_capacity=num_requests,
             name="bench-chaos",
-            faults=faults,
             retry_policy=RetryPolicy(max_attempts=3, seed=0),
+            **serve_config.endpoint_options(num_requests, faults),
         )
         with server.start():
             start = time.perf_counter()
@@ -1144,6 +1158,158 @@ def _serving_chaos_scenario(quick: bool) -> Scenario:
         },
         run_vectorized=run_chaos,
         run_reference=run_clean,
+    )
+
+
+def _serving_mixed_traffic_scenario(quick: bool) -> Scenario:
+    from repro.session import Session
+    from repro.serving import (
+        ExecutionConfig,
+        FrameServer,
+        LoadShed,
+        PolicyConfig,
+        PriorityClass,
+        RateLimitExceeded,
+        ServeConfig,
+        SubmitOptions,
+        TrafficConfig,
+        signatures_equal,
+    )
+    from repro.serving.server import response_signature
+
+    num_requests = 32 if quick else 80
+    serve_config = ServeConfig(
+        dataset="kitti",
+        samples=64,
+        neighbors=16,
+        seed=0,
+        frames=num_requests,
+        traffic=TrafficConfig(
+            model="mixed",
+            # Overdriven on purpose: the arrival span is far shorter than
+            # the sequential service time, so the backlog limit engages
+            # and the policy must shed.
+            rate_hz=2000.0,
+            raw_points=400 if quick else 800,
+            # Parallel to the class list below: ~30% high, ~70% low.
+            class_weights=(0.3, 0.7),
+            params={"small_points": 48, "small_share": 0.5},
+        ),
+        policy=PolicyConfig(
+            classes=(
+                PriorityClass("high", priority=10, preempt=True),
+                PriorityClass("low", priority=0),
+            ),
+            admission="shed",
+            # Tight on purpose (well under the arrival burst): the soak
+            # must actually shed in both modes to prove typed shedding.
+            max_backlog=8,
+        ),
+        execution=ExecutionConfig(
+            workers=2,
+            max_batch=8,
+            max_wait_ms=2.0,
+            queue_capacity=num_requests,
+            sampler="random",
+        ),
+    )
+    items = serve_config.build_traffic_items()
+    session_options = serve_config.session_options()
+    _TYPED = ("load_shed", "rate_limited")
+    state: Dict[str, Any] = {}
+
+    def get_endpoint():
+        if "endpoint" not in state:
+            state["endpoint"] = FrameServer(
+                name="bench-mixed",
+                **serve_config.endpoint_options(len(items), None),
+            ).start()
+        return state["endpoint"]
+
+    def run_policy():
+        endpoint = get_endpoint()
+        start = time.perf_counter()
+        futures = []
+        for item in items:
+            delay = start + item.arrival - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            # QueueFull must never surface under shed admission; a raise
+            # here aborts the round and fails the scenario loudly.
+            futures.append(
+                endpoint.submit(
+                    item.request,
+                    options=SubmitOptions(class_name=item.class_name),
+                )
+            )
+        outcomes: List[Any] = []
+        for future in futures:
+            try:
+                outcomes.append(
+                    response_signature(future.result(timeout=120.0))
+                )
+            except LoadShed:
+                outcomes.append("load_shed")
+            except RateLimitExceeded:
+                outcomes.append("rate_limited")
+        return outcomes, None
+
+    def run_reference():
+        if "naive" not in state:
+            state["naive"] = Session(**session_options)
+        naive = state["naive"]
+        start = time.perf_counter()
+        signatures = []
+        for item in items:
+            delay = start + item.arrival - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            signatures.append(response_signature(naive.run(item.request)))
+        return signatures, None
+
+    def compare(vectorized: Any, reference: Any) -> bool:
+        # Typed-or-bit-identical: every future resolved either with the
+        # sequential reference's exact bytes or as a typed shed marker.
+        if len(vectorized) != len(reference):
+            return False
+        served = 0
+        for vec, ref in zip(vectorized, reference):
+            if isinstance(vec, str):
+                if vec not in _TYPED:
+                    return False
+                continue
+            if not signatures_equal(vec, ref):
+                return False
+            served += 1
+        # An all-shed round would vacuously pass the loop above.
+        return served > 0
+
+    def collect_metrics():
+        if "endpoint" not in state:
+            return None
+        return state["endpoint"].metrics.snapshot()
+
+    return Scenario(
+        name="serving_mixed_traffic",
+        stage="serving",
+        params={
+            "num_requests": num_requests,
+            "traffic": "mixed",
+            "rate_hz": 2000.0,
+            "classes": "high:10:preempt, low:0 (weights 0.3/0.7)",
+            "admission": "shed",
+            "max_backlog": 8,
+            "workers": 2,
+            "max_batch": 8,
+            "max_wait_ms": 2.0,
+            "sampler": "random",
+            "reference": "naive",
+        },
+        run_vectorized=run_policy,
+        run_reference=run_reference,
+        compare=compare,
+        contract="typed_or_bit_identical",
+        collect_metrics=collect_metrics,
     )
 
 
@@ -1210,6 +1376,11 @@ def run_scenarios(
                 "contract": scenario.contract,
                 "min_speedup": scenario.min_speedup,
                 "counters": _counters_dict(vectorized_counters),
+                "metrics": (
+                    scenario.collect_metrics()
+                    if scenario.collect_metrics is not None
+                    else None
+                ),
             }
         )
         status = "ok " if identical and counters_match else "MISMATCH"
@@ -1253,11 +1424,13 @@ def _baseline_entry(raw: Any) -> Dict[str, Any]:
             "speedup": raw.get("speedup"),
             "budget": float(raw.get("budget", DEFAULT_REGRESSION_BUDGET)),
             "min_speedup": raw.get("min_speedup"),
+            "class_p99_budget_ms": raw.get("class_p99_budget_ms"),
         }
     return {
         "speedup": raw,
         "budget": DEFAULT_REGRESSION_BUDGET,
         "min_speedup": None,
+        "class_p99_budget_ms": None,
     }
 
 
@@ -1323,6 +1496,25 @@ def check_baseline(report: Dict[str, Any], baseline_path: Path) -> List[str]:
                 f"{scenario['name']}: speedup {scenario['speedup']}x is"
                 f" below the promised floor of {floor}x"
             )
+        budgets = (entry or {}).get("class_p99_budget_ms") or {}
+        if budgets:
+            per_class = (scenario.get("metrics") or {}).get("per_class", {})
+            for class_name, budget_ms in budgets.items():
+                stats = per_class.get(class_name)
+                if not stats or not stats.get("completed"):
+                    failures.append(
+                        f"{scenario['name']}: class {class_name!r} completed"
+                        " nothing, so its recorded"
+                        f" {budget_ms:g} ms p99 budget cannot be gated"
+                    )
+                    continue
+                p99 = stats["latency_ms"]["p99"]
+                if p99 > budget_ms:
+                    failures.append(
+                        f"{scenario['name']}: class {class_name!r} p99"
+                        f" latency {p99:.1f} ms exceeds its recorded"
+                        f" {budget_ms:g} ms budget"
+                    )
     return failures
 
 

@@ -32,8 +32,6 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro import registry
 from repro.network.backends import resolve_backend
 from repro.analysis.quality import (
@@ -44,54 +42,13 @@ from repro.analysis.quality import (
 from repro.analysis.reporting import format_table
 from repro.core.config import HgPCNConfig, InferenceEngineConfig, PreprocessingConfig
 from repro.datasets.synthetic import sample_cad_shape
+from repro.serving.config import (
+    DATASET_TASKS as _DATASET_TASKS,
+    ServeConfig,
+    nonnegative_int as _nonnegative_int,
+    positive_int as _positive_int,
+)
 from repro.session import FrameRequest, Session
-
-#: Registry dataset name -> Table I task.
-_DATASET_TASKS = {
-    "modelnet40": "classification",
-    "shapenet": "part_segmentation",
-    "s3dis": "semantic_segmentation",
-    "kitti": "semantic_segmentation",
-}
-
-
-def _positive_int(text: str) -> int:
-    """argparse type: integer >= 1 (clean error instead of a deep crash)."""
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
-    if value < 1:
-        raise argparse.ArgumentTypeError(
-            f"expected a positive integer, got {value}"
-        )
-    return value
-
-
-def _nonnegative_int(text: str) -> int:
-    """argparse type: integer >= 0 (0 is the documented sentinel)."""
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
-    if value < 0:
-        raise argparse.ArgumentTypeError(
-            f"expected a non-negative integer, got {value}"
-        )
-    return value
-
-
-def _positive_float(text: str) -> float:
-    """argparse type: finite float > 0 (clean error instead of a deep crash)."""
-    try:
-        value = float(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
-    if not value > 0 or not np.isfinite(value):
-        raise argparse.ArgumentTypeError(
-            f"expected a positive number, got {text}"
-        )
-    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -155,99 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="asynchronous serving soak: queue -> micro-batches -> workers",
     )
-    serve.add_argument(
-        "--dataset", choices=sorted(_DATASET_TASKS), default="kitti"
-    )
-    serve.add_argument("--scale", type=float, default=0.001,
-                       help="fraction of the paper-scale raw frame to generate")
-    serve.add_argument("--samples", type=_positive_int, default=64,
-                       help="down-sampled input size (default 64)")
-    serve.add_argument("--neighbors", type=_positive_int, default=8)
-    serve.add_argument("--seed", type=_nonnegative_int, default=0)
-    serve.add_argument("--frames", type=_positive_int, default=200,
-                       help="number of synthetic requests to serve")
-    serve.add_argument("--workers", type=_positive_int, default=2,
-                       help="warm-session workers per server/shard (default 2)")
-    serve.add_argument(
-        "--execution", choices=("thread", "process"), default="thread",
-        help="run workers as threads or as fork-spawned processes with "
-             "shared-memory batch transport (default thread)",
-    )
-    serve.add_argument(
-        "--shards", type=_positive_int, default=1,
-        help="consistent-hash shard count; >1 routes requests across N "
-             "in-process FrameServer shards (default 1)",
-    )
-    serve.add_argument(
-        "--sampler", choices=registry.available("sampler"), default="ois"
-    )
-    serve.add_argument(
-        "--accelerator", choices=registry.available("accelerator"),
-        default="hgpcn",
-    )
-    serve.add_argument(
-        "--backend",
-        choices=registry.available("backend"),
-        default=None,
-        help="compute backend for every serving session -- workers and the "
-             "sequential bit-identity reference alike (default: session "
-             "default -- REPRO_BACKEND env or numpy)",
-    )
-    serve.add_argument(
-        "--rate-hz", type=float, default=100.0,
-        help="Poisson arrival rate of the open-loop traffic "
-             "(0 = submit everything at once)",
-    )
-    serve.add_argument("--max-batch", type=_positive_int, default=8,
-                       help="micro-batch size trigger (default 8)")
-    serve.add_argument("--max-wait-ms", type=float, default=5.0,
-                       help="micro-batch deadline trigger in ms (default 5)")
-    serve.add_argument(
-        "--queue-capacity", type=_nonnegative_int, default=0,
-        help="admission queue bound (0 = sized to the request count, "
-             "i.e. no backpressure during the soak)",
-    )
-    serve.add_argument(
-        "--batch-rows-budget", type=_nonnegative_int, default=0,
-        help="stacked-rows cap per dispatch (0 = session default)",
-    )
-    serve.add_argument(
-        "--metrics-out", type=Path, default=Path("serving_metrics.json"),
-        help="where to write the JSON metrics report",
-    )
-    serve.add_argument(
-        "--p99-budget-ms", type=float, default=10_000.0,
-        help="fail when p99 end-to-end latency exceeds this (0 disables)",
-    )
-    serve.add_argument(
-        "--request-timeout", type=_positive_float, default=300.0,
-        help="per-request future.result timeout in seconds (default 300)",
-    )
-    serve.add_argument(
-        "--preprocess-workers", type=_positive_int, default=None,
-        help="intra-batch worker threads inside each serving worker's "
-             "engine stage tails (default: REPRO_PREPROCESS_WORKERS env, "
-             "else serial)",
-    )
-    serve.add_argument(
-        "--no-verify", dest="verify", action="store_false",
-        help="skip the bit-identity check against a sequential run_batch",
-    )
-    serve.add_argument(
-        "--chaos", action="store_true",
-        help="run the soak under a seeded fault plan (kill one worker "
-             "mid-run, slow another) and gate on full recovery; requires "
-             "--execution process",
-    )
-    serve.add_argument(
-        "--chaos-kill-after", type=_nonnegative_int, default=2,
-        help="kill worker 0 after it has started this many batches "
-             "(default 2)",
-    )
-    serve.add_argument(
-        "--chaos-slow-ms", type=_positive_float, default=25.0,
-        help="injected latency per batch on the slow worker (default 25)",
-    )
+    # The flags live with the config they parse into (argparse groups:
+    # traffic / policy / execution / chaos) -- see repro.serving.config.
+    ServeConfig.add_cli_args(serve)
 
     samplers = sub.add_parser("samplers", help="compare down-sampling methods")
     samplers.add_argument("--points", type=int, default=20_000)
@@ -351,109 +218,60 @@ def _run_e2e(
     return 0
 
 
-def _run_serve(args: argparse.Namespace) -> int:
-    """The serving soak: open-loop Poisson traffic through a FrameServer."""
+def _run_serve(config: ServeConfig) -> int:
+    """The serving soak: a ``ServeConfig``-described traffic stream through
+    a FrameServer (or ShardRouter), gated on the soak invariants."""
     from repro.serving import (
-        FaultPlan,
         FrameServer,
+        LoadShed,
         QueueFull,
+        RateLimitExceeded,
         ShardRouter,
+        SubmitOptions,
         response_signature,
         signatures_equal,
     )
     from repro.serving.cluster import TransportError, shared_memory_available
 
-    if args.execution == "process" and not shared_memory_available():
+    exec_cfg = config.execution
+    if exec_cfg.execution == "process" and not shared_memory_available():
         print(
             "error: --execution process needs multiprocessing.shared_memory, "
             "which is unavailable on this platform; use --execution thread",
             file=sys.stderr,
         )
         return 2
-    faults: Optional[FaultPlan] = None
-    if args.chaos:
-        if args.execution != "process":
-            print(
-                "error: --chaos kills worker processes, which requires "
-                "--execution process",
-                file=sys.stderr,
-            )
-            return 2
-        faults = FaultPlan(seed=args.seed).kill_worker(
-            0, after_batches=args.chaos_kill_after
+    if config.chaos.enabled and exec_cfg.execution != "process":
+        print(
+            "error: --chaos kills worker processes, which requires "
+            "--execution process",
+            file=sys.stderr,
         )
-        if args.workers > 1:
-            faults.slow_worker(1, delay_seconds=args.chaos_slow_ms / 1e3)
-
-    task = _DATASET_TASKS[args.dataset]
-    source = registry.create(
-        "dataset", args.dataset, num_frames=args.frames, seed=args.seed,
-        scale=args.scale,
-    )
-    config = HgPCNConfig(
-        preprocessing=PreprocessingConfig(
-            num_samples=args.samples, seed=args.seed
-        ),
-        inference=InferenceEngineConfig(
-            num_centroids=max(8, args.samples // 4),
-            neighbors_per_centroid=args.neighbors,
-            seed=args.seed,
-        ),
-    )
-    requests = [
-        FrameRequest.from_frame(source.generate_frame(i))
-        for i in range(args.frames)
-    ]
-
-    session_options = dict(
-        config=config, task=task, sampler=args.sampler,
-        accelerator=args.accelerator,
-        # Per-worker response caches would make cached flags (and hit
-        # counts) depend on scheduling; serving sessions run without them
-        # so every worker computes every frame identically.
-        response_cache_size=0,
-        # One backend for every session built from these options: the
-        # workers *and* the sequential bit-identity reference, so the soak
-        # gate exercises the selected backend's dispatch invariance.
-        backend=args.backend,
-        preprocess_workers=args.preprocess_workers,
-    )
-    if args.batch_rows_budget:
-        session_options["batch_rows_budget"] = args.batch_rows_budget
+        return 2
+    faults = config.build_faults()
+    policy = config.build_policy()
+    task = _DATASET_TASKS[config.dataset]
+    items = config.build_traffic_items()
+    requests = [item.request for item in items]
+    session_options = config.session_options()
 
     failures: List[str] = []
 
     # Ground truth for the bit-identity gate: the same requests through one
-    # sequential frame-at-a-time session.
+    # sequential frame-at-a-time session -- whatever traffic model and
+    # policy drive the server, a served response must match this exactly.
     expected = None
-    if args.verify:
+    if config.verify:
         reference = Session(**session_options).run_batch(
             requests, batched=False
         )
         expected = [response_signature(r) for r in reference.responses]
 
-    # Open-loop seeded Poisson arrival schedule.
-    rng = np.random.default_rng(args.seed)
-    if args.rate_hz > 0:
-        arrivals = np.cumsum(
-            rng.exponential(1.0 / args.rate_hz, size=len(requests))
-        )
-    else:
-        arrivals = np.zeros(len(requests))
-
-    endpoint_options = dict(
-        session_factory=lambda: Session(**session_options),
-        num_workers=args.workers,
-        execution=args.execution,
-        max_batch_size=args.max_batch,
-        max_wait_seconds=args.max_wait_ms / 1e3,
-        queue_capacity=args.queue_capacity or len(requests),
-        faults=faults,
-    )
+    endpoint_options = config.endpoint_options(len(requests), faults)
     router: Optional[ShardRouter] = None
-    if args.shards > 1:
+    if exec_cfg.shards > 1:
         endpoint = router = ShardRouter(
-            num_shards=args.shards, name="serve", **endpoint_options
+            num_shards=exec_cfg.shards, name="serve", **endpoint_options
         )
     else:
         endpoint = FrameServer(**endpoint_options)
@@ -465,14 +283,18 @@ def _run_serve(args: argparse.Namespace) -> int:
         return 2
     futures = []
     responses: List[Optional[object]] = []
+    #: Typed non-served outcomes per request index ("load_shed" /
+    #: "rate_limited"); anything else that fails is a gate failure.
+    typed_outcomes: dict = {}
     with endpoint:
         start = time.perf_counter()
-        for request, arrival in zip(requests, arrivals):
-            delay = start + arrival - time.perf_counter()
+        for item in items:
+            delay = start + item.arrival - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
+            options = SubmitOptions(class_name=item.class_name)
             try:
-                futures.append(endpoint.submit(request))
+                futures.append(endpoint.submit(item.request, options=options))
             except QueueFull:
                 futures.append(None)
         for i, future in enumerate(futures):
@@ -481,11 +303,19 @@ def _run_serve(args: argparse.Namespace) -> int:
                 responses.append(None)
                 continue
             try:
-                responses.append(future.result(timeout=args.request_timeout))
+                responses.append(
+                    future.result(timeout=config.request_timeout)
+                )
+            except LoadShed:
+                typed_outcomes[i] = "load_shed"
+                responses.append(None)
+            except RateLimitExceeded:
+                typed_outcomes[i] = "rate_limited"
+                responses.append(None)
             except FuturesTimeoutError:
                 failures.append(
                     f"request {i}: no response within the "
-                    f"{args.request_timeout:g}s --request-timeout"
+                    f"{config.request_timeout:g}s --request-timeout"
                 )
                 responses.append(None)
             except Exception as exc:
@@ -524,9 +354,18 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"{counts['failed']} failed, {counts['in_flight']} still "
             "in flight after drain"
         )
-    if counts["completed"] != len(requests):
+    # Every request must end in exactly one typed state: completed, or a
+    # typed shed/rate-limit response observed on its own future.
+    served = sum(1 for r in responses if r is not None)
+    if counts["completed"] != served:
         failures.append(
-            f"completed {counts['completed']} of {len(requests)} requests"
+            f"metrics report {counts['completed']} completed but "
+            f"{served} futures resolved with responses"
+        )
+    if served + len(typed_outcomes) != len(requests):
+        failures.append(
+            f"completed {served} + typed sheds {len(typed_outcomes)} "
+            f"!= {len(requests)} requests (something was lost silently)"
         )
     if not metrics["futures_monotonic"]:
         failures.append(
@@ -554,10 +393,32 @@ def _run_serve(args: argparse.Namespace) -> int:
                 )
                 break
     p99_ms = metrics["latency_ms"]["p99"]
-    if args.p99_budget_ms > 0 and p99_ms > args.p99_budget_ms:
+    if config.p99_budget_ms > 0 and p99_ms > config.p99_budget_ms:
         failures.append(
             f"p99 latency {p99_ms:.1f} ms exceeds the "
-            f"{args.p99_budget_ms:.0f} ms budget"
+            f"{config.p99_budget_ms:.0f} ms budget"
+        )
+    per_class = metrics.get("per_class", {})
+    if policy is not None:
+        # Per-class SLO gate: every class that declared an slo_ms budget
+        # and completed work must land its p99 inside it.
+        for cls in policy.classes:
+            if cls.slo_ms is None:
+                continue
+            stats = per_class.get(cls.name)
+            if not stats or not stats["completed"]:
+                continue
+            class_p99 = stats["latency_ms"]["p99"]
+            if class_p99 > cls.slo_ms:
+                failures.append(
+                    f"class {cls.name!r} p99 latency {class_p99:.1f} ms "
+                    f"exceeds its {cls.slo_ms:g} ms SLO"
+                )
+    if config.min_load_sheds and counts["load_shed"] < config.min_load_sheds:
+        failures.append(
+            f"only {counts['load_shed']} load sheds recorded; the soak "
+            f"requires >= {config.min_load_sheds} (--min-load-sheds) to "
+            "prove shedding engaged"
         )
     resilience = metrics.get("resilience", {})
     if faults is not None:
@@ -570,25 +431,30 @@ def _run_serve(args: argparse.Namespace) -> int:
             )
 
     # -- report ----------------------------------------------------------
+    traffic_model = (
+        config.traffic.model if config.traffic.model is not None else "poisson"
+    )
     report = {
         "serve": {
-            "dataset": args.dataset,
+            "dataset": config.dataset,
             "task": task,
-            "frames": args.frames,
-            "workers": args.workers,
-            "execution": args.execution,
-            "shards": args.shards,
-            "sampler": args.sampler,
-            "accelerator": args.accelerator,
-            "backend": resolve_backend(args.backend).describe(),
-            "rate_hz": args.rate_hz,
-            "max_batch": args.max_batch,
-            "max_wait_ms": args.max_wait_ms,
-            "seed": args.seed,
+            "frames": config.frames,
+            "workers": exec_cfg.workers,
+            "execution": exec_cfg.execution,
+            "shards": exec_cfg.shards,
+            "sampler": exec_cfg.sampler,
+            "accelerator": exec_cfg.accelerator,
+            "backend": resolve_backend(exec_cfg.backend).describe(),
+            "traffic": traffic_model,
+            "rate_hz": config.traffic.rate_hz,
+            "policy": policy.describe() if policy is not None else None,
+            "max_batch": exec_cfg.max_batch,
+            "max_wait_ms": exec_cfg.max_wait_ms,
+            "seed": config.seed,
             "verified_bit_identical": bool(expected is not None and not any(
                 "bit-identical" in f for f in failures
             )),
-            "request_timeout_seconds": args.request_timeout,
+            "request_timeout_seconds": config.request_timeout,
             "chaos": faults.describe() if faults is not None else None,
             "wall_seconds": round(wall_seconds, 4),
         },
@@ -598,12 +464,13 @@ def _run_serve(args: argparse.Namespace) -> int:
     }
     if shard_reports is not None:
         report["shards"] = shard_reports
-    args.metrics_out.write_text(json.dumps(report, indent=2) + "\n")
+    config.metrics_out.write_text(json.dumps(report, indent=2) + "\n")
     shard_paths: List[Path] = []
     if shard_reports is not None:
         for index, shard_name in enumerate(sorted(shard_reports)):
-            path = args.metrics_out.with_name(
-                f"{args.metrics_out.stem}-shard{index}{args.metrics_out.suffix}"
+            path = config.metrics_out.with_name(
+                f"{config.metrics_out.stem}-shard{index}"
+                f"{config.metrics_out.suffix}"
             )
             path.write_text(
                 json.dumps(
@@ -617,9 +484,10 @@ def _run_serve(args: argparse.Namespace) -> int:
     batches = metrics["batches"]
     rows = [
         ["requests served", f"{counts['completed']}/{len(requests)}"],
-        ["execution x shards", f"{args.execution} x {args.shards}"],
-        ["compute backend", resolve_backend(args.backend).name],
-        ["workers x max-batch", f"{args.workers} x {args.max_batch}"],
+        ["traffic model", f"{traffic_model} at {config.traffic.rate_hz:g} Hz"],
+        ["execution x shards", f"{exec_cfg.execution} x {exec_cfg.shards}"],
+        ["compute backend", resolve_backend(exec_cfg.backend).name],
+        ["workers x max-batch", f"{exec_cfg.workers} x {exec_cfg.max_batch}"],
         ["micro-batches", f"{batches['count']} "
          f"(mean occupancy {batches['mean_occupancy']:.2f})"],
         ["dispatch triggers", ", ".join(
@@ -632,8 +500,20 @@ def _run_serve(args: argparse.Namespace) -> int:
          "{p50:.2f} / {p95:.2f} / {p99:.2f}".format(**metrics["latency_ms"])],
         ["throughput [req/s]", f"{metrics['throughput_rps']:.1f}"],
         ["bit-identical vs sequential",
-         "verified" if args.verify else "skipped"],
+         "verified" if config.verify else "skipped"],
     ]
+    if policy is not None:
+        rows.append(
+            ["typed sheds (load/rate)",
+             f"{counts['load_shed']}/{counts['rate_limited']}"]
+        )
+        for name in sorted(per_class):
+            stats = per_class[name]
+            rows.append([
+                f"class {name} (done/shed p99 ms)",
+                f"{stats['completed']}/{stats['load_shed']} "
+                "p99={p99:.2f}".format(**stats["latency_ms"]),
+            ])
     if faults is not None:
         rows.append(["chaos (retries/sheds/failovers)",
                      "{retries}/{deadline_sheds}/{failovers}".format(
@@ -642,11 +522,11 @@ def _run_serve(args: argparse.Namespace) -> int:
         format_table(
             ["metric", "value"],
             rows,
-            title=f"Serving soak: {args.frames} frames of {args.dataset} "
-                  f"at {args.rate_hz:g} Hz",
+            title=f"Serving soak: {config.frames} frames of {config.dataset} "
+                  f"({traffic_model} at {config.traffic.rate_hz:g} Hz)",
         )
     )
-    print(f"wrote {args.metrics_out}")
+    print(f"wrote {config.metrics_out}")
     for path in shard_paths:
         print(f"wrote {path}")
     if failures:
@@ -710,7 +590,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             preprocess_workers=args.preprocess_workers,
         )
     if args.command == "serve":
-        return _run_serve(args)
+        return _run_serve(ServeConfig.from_args(args))
     if args.command == "samplers":
         return _run_samplers(args.points, args.samples, args.seed)
     if args.command == "components":

@@ -39,6 +39,7 @@ KINDS: Tuple[str, ...] = (
     "dataset",
     "engine",
     "backend",
+    "traffic",
 )
 
 #: Modules whose import registers the built-in implementations of each kind.
@@ -49,6 +50,7 @@ _BUILTIN_MODULES: Dict[str, Tuple[str, ...]] = {
     "dataset": ("repro.datasets",),
     "engine": ("repro.core",),
     "backend": ("repro.network.backends",),
+    "traffic": ("repro.serving.traffic",),
 }
 
 _factories: Dict[str, Dict[str, Factory]] = {kind: {} for kind in KINDS}

@@ -34,12 +34,28 @@ attempts), shards fail over along the hash ring behind per-shard
 deterministic kills / latency / transport corruption for chaos testing.
 """
 
+from repro.serving.config import (
+    ChaosConfig,
+    ExecutionConfig,
+    PolicyConfig,
+    ServeConfig,
+    TrafficConfig,
+)
 from repro.serving.faults import FaultPlan, FaultSpec
 from repro.serving.metrics import (
     ManualClock,
     RequestRecord,
     ServingMetrics,
 )
+from repro.serving.policy import (
+    AdaptiveMaxWait,
+    LoadShed,
+    PriorityClass,
+    RateLimitExceeded,
+    ServingPolicy,
+    TokenBucket,
+)
+from repro.serving.traffic import TrafficItem, TrafficModel
 from repro.serving.resilience import (
     CircuitBreaker,
     DeadlineExceeded,
@@ -66,30 +82,43 @@ from repro.serving.cluster import (
     WorkerCrashed,
     WorkerError,
 )
+from repro.session import SubmitOptions
 
 __all__ = [
+    "AdaptiveMaxWait",
     "AdmissionQueue",
+    "ChaosConfig",
     "CircuitBreaker",
     "DeadlineExceeded",
+    "ExecutionConfig",
     "FaultPlan",
     "FaultSpec",
     "FrameServer",
+    "LoadShed",
     "ManualClock",
     "MicroBatch",
     "MicroBatchScheduler",
     "NoHealthyShard",
+    "PolicyConfig",
+    "PriorityClass",
     "ProcessWorkerPool",
     "QueueClosed",
     "QueueFull",
     "QueuedRequest",
+    "RateLimitExceeded",
     "RequestRecord",
     "RetriesExhausted",
     "RetryPolicy",
+    "ServeConfig",
     "ServingMetrics",
+    "ServingPolicy",
     "ShardRouter",
+    "SubmitOptions",
     "ThreadWorkerPool",
-    "WorkerCrashed",
-    "WorkerError",
+    "TokenBucket",
+    "TrafficConfig",
+    "TrafficItem",
+    "TrafficModel",
     "response_signature",
     "signatures_equal",
 ]

@@ -162,7 +162,7 @@ class WorkerPool:
                     f"by {now - (entry.deadline or now):.3f}s before dispatch"
                 )
             )
-        self.metrics.record_shed()
+        self.metrics.record_shed(entry.class_name)
 
     def _complete_batch(
         self,
@@ -196,6 +196,7 @@ class WorkerPool:
                     trigger=batch.trigger,
                     worker=worker_name,
                     ok=error is None,
+                    class_name=entry.class_name,
                 )
             )
 

@@ -49,6 +49,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.serving.faults import FaultPlan
 from repro.serving.metrics import Clock, ServingMetrics
+from repro.serving.policy import LoadShed, RateLimitExceeded, ServingPolicy
 from repro.serving.queue import QueueFull
 from repro.serving.resilience import (
     CircuitBreaker,
@@ -56,7 +57,13 @@ from repro.serving.resilience import (
     NoHealthyShard,
     RetryPolicy,
 )
-from repro.session import FrameLike, FrameRequest, Session
+from repro.session import (
+    FrameLike,
+    FrameRequest,
+    Session,
+    SubmitOptions,
+    _UNSET,
+)
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
     from repro.serving.server import FrameServer
@@ -157,6 +164,7 @@ class ShardRouter:
         retry_policy: Optional[RetryPolicy] = None,
         breaker_failure_threshold: int = 3,
         breaker_reset_seconds: float = 5.0,
+        policy: Optional[ServingPolicy] = None,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -185,6 +193,7 @@ class ShardRouter:
                 name=shard_name,
                 faults=faults,
                 retry_policy=retry_policy,
+                policy=policy,
             )
             self._breakers[shard_name] = CircuitBreaker(
                 failure_threshold=breaker_failure_threshold,
@@ -244,11 +253,17 @@ class ShardRouter:
         self,
         frame: FrameLike,
         frame_id: Optional[str] = None,
-        block: bool = False,
-        timeout: Optional[float] = None,
-        ttl: Optional[float] = None,
+        options: Optional[SubmitOptions] = None,
+        *,
+        block: object = _UNSET,
+        timeout: object = _UNSET,
+        ttl: object = _UNSET,
     ):
         """Admit one frame on its consistent-hash shard; returns a future.
+
+        Per-request knobs travel as one
+        :class:`~repro.session.SubmitOptions` (legacy ``block``/
+        ``timeout``/``ttl`` kwargs still work behind a deprecation shim).
 
         When the ring owner is down -- stopped, breaker-open, or erroring
         at submit -- the request **fails over** along the ring to the next
@@ -259,6 +274,10 @@ class ShardRouter:
         """
         if not self._started:
             self.start()
+        options = SubmitOptions.coerce(
+            options, block=block, timeout=timeout, ttl=ttl,
+            caller="ShardRouter.submit",
+        )
         request = FrameRequest.coerce(frame, index=next(self._counter))
         if frame_id is not None:
             request = dataclasses.replace(request, frame_id=frame_id)
@@ -275,9 +294,7 @@ class ShardRouter:
             if not breaker.allow():
                 continue
             try:
-                future = shard.submit(
-                    request, block=block, timeout=timeout, ttl=ttl
-                )
+                future = shard.submit(request, options=options)
             except QueueFull as exc:
                 breaker.record_probe_release()
                 last_error = exc
@@ -314,9 +331,12 @@ class ShardRouter:
             error = future.exception()
             if error is None:
                 breaker.record_success()
-            elif isinstance(error, DeadlineExceeded):
+            elif isinstance(
+                error, (DeadlineExceeded, LoadShed, RateLimitExceeded)
+            ):
                 # A shed deadline says the *client's* TTL ran out before
-                # dispatch -- no verdict on the shard's health.
+                # dispatch; load sheds and rate limits are the policy
+                # working as configured -- no verdict on shard health.
                 breaker.record_probe_release()
             elif breaker.record_failure():
                 self.router_metrics.record_breaker_trip()

@@ -49,6 +49,8 @@ class RequestRecord:
     worker: str = ""
     #: False when the future was resolved with an exception.
     ok: bool = True
+    #: Serving-policy class the request rode (per-class percentile key).
+    class_name: str = "default"
 
     @property
     def queue_wait(self) -> float:
@@ -87,9 +89,15 @@ class ServingMetrics:
         self._cancelled = 0
         self._completion_counter = 0
         self._sheds = 0
+        self._load_sheds = 0
+        self._rate_limited = 0
         self._retries = 0
         self._breaker_trips = 0
         self._failovers = 0
+        #: Per-class counters for the typed non-served outcomes.
+        self._shed_classes: Dict[str, int] = {}
+        self._load_shed_classes: Dict[str, int] = {}
+        self._rate_limited_classes: Dict[str, int] = {}
 
     # -- recording ------------------------------------------------------
     def record_submitted(self) -> int:
@@ -115,10 +123,44 @@ class ServingMetrics:
             self._cancelled += 1
 
     # -- resilience counters --------------------------------------------
-    def record_shed(self) -> None:
+    def record_shed(self, class_name: str = "default") -> None:
         """Count one request resolved ``DeadlineExceeded`` before dispatch."""
         with self._lock:
             self._sheds += 1
+            self._shed_classes[class_name] = (
+                self._shed_classes.get(class_name, 0) + 1
+            )
+
+    def record_load_shed(self, class_name: str = "default") -> None:
+        """Count one admitted request resolved ``LoadShed`` (SLO admission)."""
+        with self._lock:
+            self._load_sheds += 1
+            self._load_shed_classes[class_name] = (
+                self._load_shed_classes.get(class_name, 0) + 1
+            )
+
+    def record_rate_limited(self, class_name: str = "default") -> None:
+        """Count one submit denied by a token bucket (never admitted)."""
+        with self._lock:
+            self._rate_limited += 1
+            self._rate_limited_classes[class_name] = (
+                self._rate_limited_classes.get(class_name, 0) + 1
+            )
+
+    def backlog(self) -> int:
+        """Admitted-but-unfinished requests: the SLO admission threshold.
+
+        ``submitted`` minus every final state -- resolved records
+        (completed or failed), cancellations, and both shed kinds.
+        """
+        with self._lock:
+            return (
+                self._submitted
+                - len(self._records)
+                - self._cancelled
+                - self._sheds
+                - self._load_sheds
+            )
 
     def record_retry(self) -> None:
         """Count one request re-enqueued after a worker crash."""
@@ -173,16 +215,35 @@ class ServingMetrics:
                 cancelled = source._cancelled
                 completions = source._completion_counter
                 sheds = source._sheds
+                load_sheds = source._load_sheds
+                rate_limited = source._rate_limited
                 retries = source._retries
                 breaker_trips = source._breaker_trips
                 failovers = source._failovers
+                shed_classes = dict(source._shed_classes)
+                load_shed_classes = dict(source._load_shed_classes)
+                rate_limited_classes = dict(source._rate_limited_classes)
             merged._submitted += submitted
             merged._rejected += rejected
             merged._cancelled += cancelled
             merged._sheds += sheds
+            merged._load_sheds += load_sheds
+            merged._rate_limited += rate_limited
             merged._retries += retries
             merged._breaker_trips += breaker_trips
             merged._failovers += failovers
+            for name, count in shed_classes.items():
+                merged._shed_classes[name] = (
+                    merged._shed_classes.get(name, 0) + count
+                )
+            for name, count in load_shed_classes.items():
+                merged._load_shed_classes[name] = (
+                    merged._load_shed_classes.get(name, 0) + count
+                )
+            for name, count in rate_limited_classes.items():
+                merged._rate_limited_classes[name] = (
+                    merged._rate_limited_classes.get(name, 0) + count
+                )
             max_batch_id = -1
             for record in records:
                 max_batch_id = max(max_batch_id, record.batch_id)
@@ -225,9 +286,14 @@ class ServingMetrics:
             submitted, rejected = self._submitted, self._rejected
             cancelled = self._cancelled
             sheds = self._sheds
+            load_sheds = self._load_sheds
+            rate_limited = self._rate_limited
             retries = self._retries
             breaker_trips = self._breaker_trips
             failovers = self._failovers
+            shed_classes = dict(self._shed_classes)
+            load_shed_classes = dict(self._load_shed_classes)
+            rate_limited_classes = dict(self._rate_limited_classes)
         completed = [r for r in records if r.ok]
         failed = [r for r in records if not r.ok]
 
@@ -258,14 +324,32 @@ class ServingMetrics:
                 #: Resolved ``DeadlineExceeded`` before dispatch (TTL shed) --
                 #: a typed result, not a loss.
                 "shed": sheds,
+                #: Resolved ``LoadShed`` by SLO-aware admission -- also a
+                #: typed result, never a silent drop.
+                "load_shed": load_sheds,
+                #: Denied by a token bucket before admission (typed
+                #: ``RateLimitExceeded``; never counted as submitted).
+                "rate_limited": rate_limited,
                 #: Admitted and still queued/executing (0 after a drain).
                 "in_flight": (
-                    submitted - len(completed) - len(failed) - cancelled - sheds
+                    submitted
+                    - len(completed)
+                    - len(failed)
+                    - cancelled
+                    - sheds
+                    - load_sheds
                 ),
             },
             "queue_wait_ms": _percentiles_ms([r.queue_wait for r in completed]),
             "service_ms": _percentiles_ms([r.service_time for r in completed]),
             "latency_ms": _percentiles_ms([r.latency for r in completed]),
+            "per_class": self._per_class(
+                completed,
+                failed,
+                shed_classes,
+                load_shed_classes,
+                rate_limited_classes,
+            ),
             "batches": {
                 "count": len(batches),
                 "mean_occupancy": (
@@ -281,10 +365,42 @@ class ServingMetrics:
                 #: per re-dispatch -- one request retried twice counts 2).
                 "retries": retries,
                 "deadline_sheds": sheds,
+                "load_sheds": load_sheds,
+                "rate_limited": rate_limited,
                 "breaker_trips": breaker_trips,
                 "failovers": failovers,
             },
         }
+
+    @staticmethod
+    def _per_class(
+        completed: List[RequestRecord],
+        failed: List[RequestRecord],
+        shed_classes: Dict[str, int],
+        load_shed_classes: Dict[str, int],
+        rate_limited_classes: Dict[str, int],
+    ) -> Dict[str, Dict[str, Any]]:
+        """Per-priority-class breakdown: counters + latency percentiles."""
+        names = (
+            {r.class_name for r in completed}
+            | {r.class_name for r in failed}
+            | set(shed_classes)
+            | set(load_shed_classes)
+            | set(rate_limited_classes)
+        )
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(names):
+            done = [r for r in completed if r.class_name == name]
+            out[name] = {
+                "completed": len(done),
+                "failed": sum(1 for r in failed if r.class_name == name),
+                "shed": shed_classes.get(name, 0),
+                "load_shed": load_shed_classes.get(name, 0),
+                "rate_limited": rate_limited_classes.get(name, 0),
+                "queue_wait_ms": _percentiles_ms([r.queue_wait for r in done]),
+                "latency_ms": _percentiles_ms([r.latency for r in done]),
+            }
+        return out
 
 
 #: Type of the injectable clock shared by the serving components.

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional
 
 from repro.serving.metrics import Clock
-from repro.session import FrameRequest
+from repro.session import FrameRequest, SubmitOptions, _UNSET
 
 
 #: Blocking submitters wake at least this often (real seconds) to re-check
@@ -67,6 +67,11 @@ class QueuedRequest:
     deadline: Optional[float] = field(default=None, compare=False)
     #: How many times a worker pool has dispatched this entry (crash retry).
     attempts: int = field(default=0, compare=False)
+    #: Serving-policy rank (higher wins scheduler ordering and survives
+    #: admission shedding); 0 for requests without a policy.
+    priority: int = field(default=0, compare=False)
+    #: Serving-policy class this entry rides (per-class metrics key).
+    class_name: str = field(default="default", compare=False)
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and self.deadline <= now
@@ -100,22 +105,34 @@ class AdmissionQueue:
     def submit(
         self,
         request: FrameRequest,
-        block: bool = False,
-        timeout: Optional[float] = None,
-        ttl: Optional[float] = None,
+        options: Optional[SubmitOptions] = None,
+        *,
+        block: object = _UNSET,
+        timeout: object = _UNSET,
+        ttl: object = _UNSET,
+        priority: int = 0,
+        class_name: str = "default",
     ) -> QueuedRequest:
         """Admit ``request``; returns its queue entry (future included).
 
-        ``ttl`` (seconds, > 0) stamps an absolute deadline on the entry;
-        expired entries are shed before dispatch rather than served.
+        Per-request knobs travel as one :class:`~repro.session.SubmitOptions`
+        (the legacy ``block``/``timeout``/``ttl`` kwargs still work behind a
+        deprecation shim).  ``options.ttl`` (seconds, > 0) stamps an
+        absolute deadline on the entry; expired entries are shed before
+        dispatch rather than served.  ``priority``/``class_name`` are the
+        *resolved* policy values stamped by the owning server (the raw
+        ``options.priority``/``options.class_name`` may be ``None``).
 
-        Raises :class:`QueueFull` when at capacity (after ``timeout`` on the
-        injected clock in blocking mode; ``timeout=0`` never waits) and
-        :class:`QueueClosed` after :meth:`close`.  A full queue first sheds
-        its own expired entries to make room.
+        Raises :class:`QueueFull` when at capacity (after ``options.timeout``
+        on the injected clock in blocking mode; ``timeout=0`` never waits)
+        and :class:`QueueClosed` after :meth:`close`.  A full queue first
+        sheds its own expired entries to make room.
         """
-        if ttl is not None and ttl <= 0:
-            raise ValueError(f"ttl must be > 0 seconds, got {ttl}")
+        options = SubmitOptions.coerce(
+            options, block=block, timeout=timeout, ttl=ttl,
+            caller="AdmissionQueue.submit",
+        )
+        ttl_seconds = options.ttl
         shed: List[QueuedRequest] = []
         try:
             with self._lock:
@@ -124,12 +141,16 @@ class AdmissionQueue:
                 if len(self._entries) >= self.capacity:
                     shed.extend(self._shed_expired_locked(self.clock()))
                 if len(self._entries) >= self.capacity:
-                    if not block:
+                    if not options.block:
                         self.rejected += 1
                         raise QueueFull(
                             f"admission queue at capacity ({self.capacity})"
                         )
-                    deadline = None if timeout is None else self.clock() + timeout
+                    deadline = (
+                        None
+                        if options.timeout is None
+                        else self.clock() + options.timeout
+                    )
                     while len(self._entries) >= self.capacity and not self._closed:
                         remaining = None
                         if deadline is not None:
@@ -156,7 +177,9 @@ class AdmissionQueue:
                     future=Future(),
                     sequence=self._sequence,
                     enqueued_at=now,
-                    deadline=None if ttl is None else now + ttl,
+                    deadline=None if ttl_seconds is None else now + ttl_seconds,
+                    priority=int(priority),
+                    class_name=class_name,
                 )
                 self._sequence += 1
                 self._entries.append(entry)
@@ -166,6 +189,39 @@ class AdmissionQueue:
             if shed and self.on_shed is not None:
                 for victim in shed:
                     self.on_shed(victim)
+
+    def steal_lowest(self, below_priority: int) -> Optional[QueuedRequest]:
+        """Remove and return the best shed victim under ``below_priority``.
+
+        SLO-aware admission support: among queued entries with a strictly
+        lower priority, the victim is the lowest-priority one, youngest
+        first (the least sunk queue wait).  The caller resolves the
+        victim's future with a typed ``LoadShed``.  ``None`` when every
+        queued entry ranks at least ``below_priority``.
+        """
+        with self._lock:
+            victim: Optional[QueuedRequest] = None
+            for entry in self._entries:
+                if entry.priority >= below_priority:
+                    continue
+                if (
+                    victim is None
+                    or entry.priority < victim.priority
+                    or (
+                        entry.priority == victim.priority
+                        and entry.sequence > victim.sequence
+                    )
+                ):
+                    victim = entry
+            if victim is not None:
+                # Rebuild by identity: dataclass __eq__ would compare the
+                # numpy payloads element-wise.
+                stolen = victim
+                self._entries = deque(
+                    e for e in self._entries if e is not stolen
+                )
+                self._not_full.notify()
+            return victim
 
     def _shed_expired_locked(self, now: float) -> List[QueuedRequest]:
         """Drop expired entries (oldest first); caller resolves their futures."""

@@ -6,8 +6,8 @@ feature_channels)``, the same key :meth:`repro.session.Session.shape_key`
 uses -- because only same-keyed frames can ride one
 :class:`~repro.core.framebatch.FrameBatch` through a warm session.
 
-A group dispatches as a :class:`MicroBatch` when the first of two triggers
-fires:
+A group dispatches as a :class:`MicroBatch` when the first of three
+triggers fires:
 
 * **size** -- the group reached its effective batch size: the configured
   ``max_batch_size``, further capped by ``batch_rows_budget // sampled_size``
@@ -15,13 +15,24 @@ fires:
   :class:`~repro.session.Session` applies when sub-batching; capping here
   keeps the scheduler from forming batches the session would immediately
   split).
-* **deadline** -- the group's *oldest* request has waited ``max_wait``
-  seconds since admission.  This bounds the latency a lonely shape pays for
-  batching: a request never waits more than ``max_wait`` for companions
-  that may not come.
+* **deadline** -- the group's *oldest* request has waited its effective
+  wait since admission.  This bounds the latency a lonely shape pays for
+  batching: a request never waits more than the wait bound for companions
+  that may not come.  The bound is ``max_wait_seconds``, optionally capped
+  further per :class:`~repro.serving.policy.PriorityClass`
+  (``max_wait_seconds`` on the class) and -- under a policy with
+  ``adaptive_max_wait`` -- tuned down to the observed arrival rate
+  (:class:`~repro.serving.policy.AdaptiveMaxWait` on the injected clock).
+* **priority** -- a request of a ``preempt`` class arrived: its shape
+  group dispatches immediately instead of waiting for companions, carrying
+  the highest-priority members first.
 
-Whichever trigger fires, members leave in admission order, so per-batch
-future resolution stays monotonic in sequence numbers.  :meth:`drain`
+With a serving policy attached, groups are visited highest-priority first
+(a high-priority arrival jumps the grouping order) and an over-full
+group's members are *selected* by descending priority -- but whichever
+entries are selected leave in admission order within the batch, so
+per-batch future resolution stays monotonic in sequence numbers (the
+``futures_monotonic`` gate holds under every policy).  :meth:`drain`
 flushes every pending group (trigger ``"drain"``) for graceful shutdown.
 """
 
@@ -30,9 +41,10 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.serving.metrics import Clock
+from repro.serving.policy import PriorityClass, ServingPolicy
 from repro.serving.queue import QueuedRequest
 from repro.session import FrameRequest
 
@@ -48,7 +60,7 @@ class MicroBatch:
     entries: List[QueuedRequest]
     #: Clock reading when the batch was formed.
     formed_at: float
-    #: Which trigger formed it: "size", "deadline", or "drain".
+    #: Which trigger formed it: "size", "deadline", "priority", or "drain".
     trigger: str
     #: Formation order (0-based, per scheduler).
     batch_id: int = 0
@@ -67,6 +79,7 @@ class MicroBatchScheduler:
         max_wait_seconds: float = 0.005,
         batch_rows_budget: Optional[int] = None,
         clock: Clock = time.monotonic,
+        policy: Optional[ServingPolicy] = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -83,9 +96,20 @@ class MicroBatchScheduler:
         self.max_wait_seconds = float(max_wait_seconds)
         self.batch_rows_budget = batch_rows_budget
         self.clock = clock
+        self.policy = policy
+        self._classes: Dict[str, PriorityClass] = (
+            policy.class_map if policy is not None else {}
+        )
+        self._adaptive = (
+            policy.make_adaptive_wait(self.max_wait_seconds, self.max_batch_size)
+            if policy is not None
+            else None
+        )
         self._lock = threading.Lock()
         #: Pending entries per shape key, in admission order.
         self._pending: Dict[Tuple[str, int, int], List[QueuedRequest]] = {}
+        #: Keys holding a freshly-arrived entry of a ``preempt`` class.
+        self._urgent: Set[Tuple[str, int, int]] = set()
         self._batch_counter = 0
 
     # ------------------------------------------------------------------
@@ -106,24 +130,43 @@ class MicroBatchScheduler:
         with self._lock:
             return [key for key, entries in self._pending.items() if entries]
 
+    def current_max_wait(self) -> float:
+        """The deadline-trigger wait in force right now (pre per-class caps)."""
+        if self._adaptive is not None:
+            return self._adaptive.current()
+        return self.max_wait_seconds
+
+    def _group_wait(self, entries: List[QueuedRequest]) -> float:
+        """Effective wait bound for a group: adaptive base, capped by the
+        tightest per-class ``max_wait_seconds`` among its members."""
+        wait = self.current_max_wait()
+        for entry in entries:
+            cls = self._classes.get(entry.class_name)
+            if cls is not None and cls.max_wait_seconds is not None:
+                wait = min(wait, cls.max_wait_seconds)
+        return wait
+
     # ------------------------------------------------------------------
     def add(self, entry: QueuedRequest) -> None:
         """Accept one entry from the admission queue into its shape group."""
         key = self.shape_key(entry.request)
+        if self._adaptive is not None:
+            self._adaptive.observe(entry.enqueued_at)
+        cls = self._classes.get(entry.class_name)
         with self._lock:
             self._pending.setdefault(key, []).append(entry)
+            if cls is not None and cls.preempt:
+                self._urgent.add(key)
 
     def next_deadline(self) -> Optional[float]:
         """Earliest clock reading at which a deadline trigger fires."""
         with self._lock:
-            oldest = [
-                entries[0].enqueued_at
+            deadlines = [
+                entries[0].enqueued_at + self._group_wait(entries)
                 for entries in self._pending.values()
                 if entries
             ]
-        if not oldest:
-            return None
-        return min(oldest) + self.max_wait_seconds
+        return min(deadlines) if deadlines else None
 
     def next_expiry(self) -> Optional[float]:
         """Earliest request deadline among pending entries (TTL sheds)."""
@@ -157,27 +200,114 @@ class MicroBatchScheduler:
                     self._pending[key] = kept
                 else:
                     del self._pending[key]
+                    self._urgent.discard(key)
         return shed
 
+    def steal_lowest(self, below_priority: int) -> Optional[QueuedRequest]:
+        """Remove and return the best shed victim under ``below_priority``.
+
+        SLO-aware admission support (same contract as
+        ``AdmissionQueue.steal_lowest``): the lowest-priority pending
+        entry, youngest first among ties.  ``None`` when nothing pending
+        ranks strictly below ``below_priority``.
+        """
+        with self._lock:
+            victim: Optional[QueuedRequest] = None
+            victim_key: Optional[Tuple[str, int, int]] = None
+            for key, entries in self._pending.items():
+                for entry in entries:
+                    if entry.priority >= below_priority:
+                        continue
+                    if (
+                        victim is None
+                        or entry.priority < victim.priority
+                        or (
+                            entry.priority == victim.priority
+                            and entry.sequence > victim.sequence
+                        )
+                    ):
+                        victim, victim_key = entry, key
+            if victim is not None and victim_key is not None:
+                entries = self._pending[victim_key]
+                # Remove by identity: dataclass __eq__ would compare the
+                # numpy payloads element-wise.
+                self._pending[victim_key] = [
+                    e for e in entries if e is not victim
+                ]
+                entries = self._pending[victim_key]
+                if not entries:
+                    del self._pending[victim_key]
+                    self._urgent.discard(victim_key)
+            return victim
+
+    @staticmethod
+    def _select(
+        entries: List[QueuedRequest], limit: int
+    ) -> Tuple[List[QueuedRequest], List[QueuedRequest]]:
+        """Split ``entries`` into (batch members, remainder).
+
+        Members are chosen by descending priority (admission order among
+        equals) but *returned in admission order*: priority decides who
+        rides the batch, sequence order decides their slots, so per-batch
+        future resolution stays monotonic.  The all-equal fast path is the
+        pre-policy FIFO behaviour, bit for bit.
+        """
+        if len(entries) <= limit:
+            return list(entries), []
+        first_priority = entries[0].priority
+        if all(e.priority == first_priority for e in entries):
+            return entries[:limit], entries[limit:]
+        chosen = sorted(
+            sorted(entries, key=lambda e: (-e.priority, e.sequence))[:limit],
+            key=lambda e: e.sequence,
+        )
+        chosen_set = {id(e) for e in chosen}
+        return chosen, [e for e in entries if id(e) not in chosen_set]
+
+    def _visit_order(self) -> List[Tuple[str, int, int]]:
+        """Group visit order: highest pending priority first (policy), else
+        insertion order (legacy).  Caller holds the lock."""
+        keys = [key for key, entries in self._pending.items() if entries]
+        if self.policy is None:
+            return keys
+        return sorted(
+            keys,
+            key=lambda key: (
+                -max(e.priority for e in self._pending[key]),
+                min(e.sequence for e in self._pending[key]),
+            ),
+        )
+
     def ready(self, now: Optional[float] = None) -> List[MicroBatch]:
-        """Pop every batch whose size or deadline trigger has fired."""
+        """Pop every batch whose priority, size, or deadline trigger fired."""
         if now is None:
             now = self.clock()
         batches: List[MicroBatch] = []
         with self._lock:
-            for key in list(self._pending):
+            for key in self._visit_order():
                 entries = self._pending[key]
                 limit = self.effective_batch_size(key)
+                if key in self._urgent:
+                    # A preempting arrival dispatches its group now: the
+                    # highest-priority members ride out immediately instead
+                    # of waiting for the size trigger to fill.
+                    self._urgent.discard(key)
+                    chosen, entries = self._select(entries, limit)
+                    batches.append(self._form(key, chosen, now, "priority"))
+                    self._pending[key] = entries
                 while len(entries) >= limit:
-                    batches.append(
-                        self._form(key, entries[:limit], now, "size")
-                    )
-                    del entries[:limit]
-                if entries and now - entries[0].enqueued_at >= self.max_wait_seconds:
-                    batches.append(self._form(key, entries[:limit], now, "deadline"))
-                    del entries[:limit]
+                    chosen, entries = self._select(entries, limit)
+                    batches.append(self._form(key, chosen, now, "size"))
+                    self._pending[key] = entries
+                if entries and (
+                    now - entries[0].enqueued_at >= self._group_wait(entries)
+                ):
+                    chosen, entries = self._select(entries, limit)
+                    batches.append(self._form(key, chosen, now, "deadline"))
+                    self._pending[key] = entries
                 if not entries:
-                    del self._pending[key]
+                    self._pending.pop(key, None)
+                    self._urgent.discard(key)
         return batches
 
     def drain(self, now: Optional[float] = None) -> List[MicroBatch]:
@@ -188,6 +318,7 @@ class MicroBatchScheduler:
         with self._lock:
             for key in list(self._pending):
                 entries = self._pending.pop(key)
+                self._urgent.discard(key)
                 limit = self.effective_batch_size(key)
                 for start in range(0, len(entries), limit):
                     batches.append(

@@ -44,7 +44,8 @@ import dataclasses
 import itertools
 import threading
 import time
-from typing import Any, Callable, List, Optional, Tuple
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -55,6 +56,12 @@ from repro.serving.cluster.pool import (
 )
 from repro.serving.faults import FaultPlan
 from repro.serving.metrics import Clock, ServingMetrics
+from repro.serving.policy import (
+    LoadShed,
+    RateLimitExceeded,
+    ServingPolicy,
+    TokenBucket,
+)
 from repro.serving.queue import (
     AdmissionQueue,
     QueueClosed,
@@ -63,7 +70,14 @@ from repro.serving.queue import (
 )
 from repro.serving.resilience import DeadlineExceeded, RetryPolicy
 from repro.serving.scheduler import MicroBatchScheduler
-from repro.session import FrameLike, FrameRequest, FrameResponse, Session
+from repro.session import (
+    FrameLike,
+    FrameRequest,
+    FrameResponse,
+    Session,
+    SubmitOptions,
+    _UNSET,
+)
 
 #: How long the scheduler sleeps waiting for work when nothing is pending.
 _IDLE_POLL_SECONDS = 0.05
@@ -149,6 +163,12 @@ class FrameServer:
         (:class:`~repro.serving.resilience.RetryPolicy`; default 3
         attempts with capped seeded-jitter backoff).  Pass
         ``RetryPolicy(max_attempts=1)`` to fail fast like PR 6.
+    policy:
+        Optional :class:`~repro.serving.policy.ServingPolicy`: priority
+        classes, per-shape-key token-bucket rate limits, adaptive
+        max-wait, and SLO-aware admission shedding.  Without one the
+        server behaves exactly as before (FIFO per shape, ``QueueFull``
+        backpressure).
     """
 
     def __init__(
@@ -164,6 +184,7 @@ class FrameServer:
         execution: str = "thread",
         faults: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        policy: Optional[ServingPolicy] = None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -178,6 +199,10 @@ class FrameServer:
         self.clock = clock
         self.faults = faults
         self.retry_policy = retry_policy
+        self.policy = policy
+        #: Lazily-built per-shape-key token buckets (policy rate limiting).
+        self._buckets: Dict[Tuple[str, int, int], TokenBucket] = {}
+        self._buckets_lock = threading.Lock()
         self.metrics = ServingMetrics()
         self.admission = AdmissionQueue(
             capacity=queue_capacity, clock=clock, on_shed=self._shed_entry
@@ -239,6 +264,7 @@ class FrameServer:
                 max_wait_seconds=self._max_wait_seconds,
                 batch_rows_budget=self._batch_rows_budget,
                 clock=self.clock,
+                policy=self.policy,
             )
             self._scheduler_thread = threading.Thread(
                 target=self._scheduler_loop,
@@ -328,35 +354,114 @@ class FrameServer:
         self,
         frame: FrameLike,
         frame_id: Optional[str] = None,
-        block: bool = False,
-        timeout: Optional[float] = None,
-        ttl: Optional[float] = None,
+        options: Optional[SubmitOptions] = None,
+        *,
+        block: object = _UNSET,
+        timeout: object = _UNSET,
+        ttl: object = _UNSET,
     ):
         """Admit one frame; returns a future resolving to a FrameResponse.
 
-        ``ttl`` (seconds, > 0) bounds how long the request may wait before
-        dispatch: past it, the future resolves with
-        :class:`~repro.serving.resilience.DeadlineExceeded` instead of
-        being served (never a silent drop).
+        Per-request knobs travel as one
+        :class:`~repro.session.SubmitOptions` (the legacy
+        ``block``/``timeout``/``ttl`` kwargs still work behind a
+        deprecation shim).  ``options.ttl`` (seconds, > 0) bounds how long
+        the request may wait before dispatch: past it, the future resolves
+        with :class:`~repro.serving.resilience.DeadlineExceeded` instead
+        of being served (never a silent drop).
+        ``options.class_name``/``options.priority`` select the serving
+        policy class (ignored without a policy beyond metrics labelling).
 
         Raises :class:`~repro.serving.queue.QueueFull` under backpressure
         and :class:`~repro.serving.queue.QueueClosed` after shutdown.
+        Under a policy, a rate-limited or load-shed request instead gets a
+        future resolved with
+        :class:`~repro.serving.policy.RateLimitExceeded` /
+        :class:`~repro.serving.policy.LoadShed` -- typed results, and with
+        ``admission="shed"`` the server never raises ``QueueFull``.
         """
         if not self._started:
             self.start()
+        options = SubmitOptions.coerce(
+            options, block=block, timeout=timeout, ttl=ttl,
+            caller="FrameServer.submit",
+        )
         request = FrameRequest.coerce(frame, index=next(self._submit_counter))
         if frame_id is not None:
             request = dataclasses.replace(request, frame_id=frame_id)
+        if self.policy is not None:
+            cls, priority = self.policy.resolve(
+                options.class_name, options.priority
+            )
+            class_name = cls.name
+        else:
+            class_name = options.class_name or "default"
+            priority = options.priority if options.priority is not None else 0
+        if self.policy is not None and self.policy.rate_limit_hz is not None:
+            assert self.pool is not None
+            bucket = self._bucket_for(self.pool.shape_key(request.cloud))
+            if bucket is not None and not bucket.try_acquire():
+                self.metrics.record_rate_limited(class_name)
+                return self._typed_failure(
+                    RateLimitExceeded(
+                        f"request {request.frame_id!r} rate-limited "
+                        f"({self.policy.rate_limit_hz:g} Hz per shape key)"
+                    )
+                )
         # Count the submission before the entry becomes visible to the
         # scheduler: recording it afterwards opens a window where a fast
         # worker completes the request first and a live stats() snapshot
         # reports completed > submitted (negative in_flight).
         self.metrics.record_submitted()
+        shed_mode = self.policy is not None and self.policy.admission == "shed"
+        if shed_mode:
+            assert self.policy is not None
+            limit = max(
+                1,
+                self.policy.max_backlog
+                if self.policy.max_backlog is not None
+                else self.admission.capacity,
+            )
+            # The backlog budget counts *waiting* work -- queued plus
+            # scheduler-pending -- which is exactly the stealable
+            # population.  Requests already dispatched to workers are in
+            # flight, not backlog: counting them would shed arrivals that
+            # nothing pending could be evicted for.
+            while self._waiting_depth() >= limit:
+                victim = self.admission.steal_lowest(priority)
+                if victim is None and self.scheduler is not None:
+                    victim = self.scheduler.steal_lowest(priority)
+                if victim is None:
+                    # Nothing pending ranks below the incoming request:
+                    # it is itself the lowest-priority work -- shed it.
+                    self.metrics.record_load_shed(class_name)
+                    return self._typed_failure(
+                        LoadShed(
+                            f"request {request.frame_id!r} shed at admission "
+                            f"(backlog at {limit})"
+                        )
+                    )
+                self._load_shed_entry(victim)
         try:
             entry = self.admission.submit(
-                request, block=block, timeout=timeout, ttl=ttl
+                request,
+                options=options,
+                priority=priority,
+                class_name=class_name,
             )
         except QueueFull:
+            if shed_mode:
+                # The queue proper filled even though the backlog budget
+                # held (most work sits in the scheduler/workers).  Shed
+                # typed rather than raise: submitted stays counted, the
+                # caller gets a LoadShed future.
+                self.metrics.record_load_shed(class_name)
+                return self._typed_failure(
+                    LoadShed(
+                        f"request {request.frame_id!r} shed at admission "
+                        f"(queue at capacity {self.admission.capacity})"
+                    )
+                )
             self.metrics.record_admission_failed()
             self.metrics.record_rejected()
             raise
@@ -364,6 +469,33 @@ class FrameServer:
             self.metrics.record_admission_failed()
             raise
         return entry.future
+
+    def _waiting_depth(self) -> int:
+        """Requests admitted but not yet dispatched to a worker."""
+        depth = len(self.admission)
+        if self.scheduler is not None:
+            depth += self.scheduler.pending_count
+        return depth
+
+    def _bucket_for(self, key: Tuple[str, int, int]) -> Optional[TokenBucket]:
+        if self.policy is None:
+            return None
+        with self._buckets_lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self.policy.make_bucket(self.clock)
+                if bucket is None:
+                    return None
+                self._buckets[key] = bucket
+            return bucket
+
+    @staticmethod
+    def _typed_failure(exc: BaseException) -> "Future":
+        """A future pre-resolved with a typed serving exception."""
+        future: "Future" = Future()
+        future.set_running_or_notify_cancel()
+        future.set_exception(exc)
+        return future
 
     def _shed_entry(self, entry: QueuedRequest) -> None:
         """Resolve one expired entry with ``DeadlineExceeded`` (typed)."""
@@ -375,7 +507,19 @@ class FrameServer:
                     f"by {now - (entry.deadline or now):.3f}s before dispatch"
                 )
             )
-        self.metrics.record_shed()
+        self.metrics.record_shed(entry.class_name)
+
+    def _load_shed_entry(self, entry: QueuedRequest) -> None:
+        """Resolve one admission-shed victim with ``LoadShed`` (typed)."""
+        if entry.future.set_running_or_notify_cancel():
+            entry.future.set_exception(
+                LoadShed(
+                    f"request {entry.request.frame_id!r} "
+                    f"(class {entry.class_name!r}, priority {entry.priority}) "
+                    "shed for higher-priority admission"
+                )
+            )
+        self.metrics.record_load_shed(entry.class_name)
 
     def stats(self) -> dict:
         """Live metrics snapshot (the server keeps running)."""

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -52,6 +53,90 @@ from repro.network.backends import get_backend, resolve_backend
 
 #: Anything :meth:`Session.run` accepts as a frame.
 FrameLike = Union["FrameRequest", Frame, PointCloud]
+
+#: Sentinel distinguishing "legacy kwarg not passed" from an explicit value
+#: (``block=False`` and ``block`` omitted must behave identically, but only
+#: the explicit spelling should trigger the deprecation shim).
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class SubmitOptions:
+    """Per-request options for the asynchronous submit path.
+
+    One typed bundle replaces the ``block``/``timeout``/``ttl`` kwarg pile
+    that :meth:`Session.submit`, ``FrameServer.submit``, and
+    ``AdmissionQueue.submit`` each used to re-declare; the same object is
+    threaded through all three layers untouched.  Lives here (not in
+    :mod:`repro.serving`) because the serving queue imports this module --
+    the options travel *down* the dependency graph with the request.
+
+    ``priority`` and ``class_name`` feed the serving policy layer
+    (:mod:`repro.serving.policy`): ``class_name`` picks a configured
+    :class:`~repro.serving.policy.PriorityClass` (the policy's default
+    class when ``None``), ``priority`` overrides that class's rank for
+    this one request.  Both are inert on servers without a policy, except
+    that ``priority`` still orders micro-batch selection.
+    """
+
+    #: Block for a queue slot instead of raising ``QueueFull`` (legacy
+    #: backpressure; irrelevant under ``admission="shed"`` policies).
+    block: bool = False
+    #: Blocking-submit timeout in seconds on the serving clock.
+    timeout: Optional[float] = None
+    #: Seconds the request may wait before dispatch; past it the future
+    #: resolves with ``DeadlineExceeded`` (typed, never silent).
+    ttl: Optional[float] = None
+    #: Explicit scheduler rank; ``None`` adopts the class's priority.
+    priority: Optional[int] = None
+    #: Serving-policy class name; ``None`` means the policy's default.
+    class_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError(f"ttl must be > 0 seconds, got {self.ttl}")
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {self.timeout}")
+
+    @classmethod
+    def coerce(
+        cls,
+        options: Optional["SubmitOptions"] = None,
+        *,
+        block: Any = _UNSET,
+        timeout: Any = _UNSET,
+        ttl: Any = _UNSET,
+        caller: str = "submit",
+    ) -> "SubmitOptions":
+        """Resolve the new ``options`` object against legacy kwargs.
+
+        The deprecation shim for the pre-SubmitOptions API: explicit
+        ``block``/``timeout``/``ttl`` kwargs still work but warn, and
+        mixing them with ``options`` is an error (two sources of truth).
+        Call sites that already hold a ``SubmitOptions`` pass it through
+        unchanged; bare calls get the defaults.
+        """
+        legacy = {
+            name: value
+            for name, value in (
+                ("block", block), ("timeout", timeout), ("ttl", ttl)
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if options is not None:
+                raise TypeError(
+                    f"{caller}: pass either options=SubmitOptions(...) or the "
+                    f"legacy {sorted(legacy)} kwargs, not both"
+                )
+            warnings.warn(
+                f"{caller}(block=/timeout=/ttl=) is deprecated; pass "
+                f"options=SubmitOptions({', '.join(sorted(legacy))}=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return cls(**legacy)
+        return options if options is not None else cls()
 
 
 @dataclass(frozen=True)
@@ -357,9 +442,11 @@ class Session:
         self,
         frame: FrameLike,
         frame_id: Optional[str] = None,
-        block: bool = False,
-        timeout: Optional[float] = None,
-        ttl: Optional[float] = None,
+        options: Optional[SubmitOptions] = None,
+        *,
+        block: Any = _UNSET,
+        timeout: Any = _UNSET,
+        ttl: Any = _UNSET,
         **server_options,
     ):
         """Submit one frame asynchronously; returns a future.
@@ -368,17 +455,23 @@ class Session:
         :class:`~repro.serving.server.FrameServer` whose worker *is* this
         session (same warm caches, same response cache), configured by
         ``server_options`` (``max_batch_size``, ``max_wait_seconds``,
-        ``queue_capacity``, ...).  ``block``/``timeout`` and ``ttl`` are
-        per-request: they forward to
+        ``queue_capacity``, ``policy``, ...).  Per-request knobs travel as
+        one :class:`SubmitOptions` bundle forwarded untouched to
         :meth:`~repro.serving.server.FrameServer.submit` (``ttl`` seconds
         bounds the queue wait -- past it the future resolves with
         :class:`~repro.serving.resilience.DeadlineExceeded` instead of
-        being served).  The future resolves to the frame's
-        :class:`FrameResponse` once its micro-batch has been served; call
-        :meth:`drain` to flush pending work and stop the server.  Do not mix
-        ``submit`` with direct :meth:`run`/:meth:`run_batch` calls while the
-        server is live -- the session's warm state is not thread-safe.
+        being served); the legacy ``block``/``timeout``/``ttl`` kwargs
+        still work behind a deprecation shim.  The future resolves to the
+        frame's :class:`FrameResponse` once its micro-batch has been
+        served; call :meth:`drain` to flush pending work and stop the
+        server.  Do not mix ``submit`` with direct
+        :meth:`run`/:meth:`run_batch` calls while the server is live --
+        the session's warm state is not thread-safe.
         """
+        options = SubmitOptions.coerce(
+            options, block=block, timeout=timeout, ttl=ttl,
+            caller="Session.submit",
+        )
         with self._server_lock:
             if self._server is None:
                 from repro.serving.server import FrameServer
@@ -393,9 +486,7 @@ class Session:
                     "drain() first to reconfigure"
                 )
             server = self._server
-        return server.submit(
-            frame, frame_id=frame_id, block=block, timeout=timeout, ttl=ttl
-        )
+        return server.submit(frame, frame_id=frame_id, options=options)
 
     def drain(self) -> Optional[Dict[str, Any]]:
         """Finish all submitted work, stop serving, return the metrics.

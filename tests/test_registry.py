@@ -12,7 +12,7 @@ class TestLookup:
     def test_kinds_are_known(self):
         assert set(registry.KINDS) == {
             "sampler", "gatherer", "accelerator", "dataset", "engine",
-            "backend",
+            "backend", "traffic",
         }
 
     def test_available_lists_builtin_samplers(self):

@@ -295,11 +295,13 @@ class TestServingMetrics:
         )
         assert snapshot["requests"] == {
             "submitted": 40, "rejected": 0, "completed": 40,
-            "failed": 0, "dropped": 0, "shed": 0, "in_flight": 0,
+            "failed": 0, "dropped": 0, "shed": 0, "load_shed": 0,
+            "rate_limited": 0, "in_flight": 0,
         }
         assert snapshot["resilience"] == {
             "retries": 0, "deadline_sheds": 0,
             "breaker_trips": 0, "failovers": 0,
+            "load_sheds": 0, "rate_limited": 0,
         }
         assert snapshot["batches"]["count"] == 10
         assert snapshot["batches"]["mean_occupancy"] == 4.0
